@@ -1,0 +1,93 @@
+// Reproduces Figure 7: the day-1 online CVR prediction distributions over
+// the inference space D for MMOE, ESCM²-IPW, ESCM²-DR and DCMT, rendered as
+// ASCII histograms with the posterior CVR levels marked.
+//
+// Reproduction target (shape): the ESCM² buckets' mean predictions sit close
+// to the posterior CVR over O (they debias only the click space), while
+// DCMT's distribution mass sits between the posterior over D and over O —
+// the paper's evidence that only DCMT debiases the entire space.
+//
+// Flags: --pvs, --candidates, --epochs, --lr, --lambda1, --bins.
+
+#include <cstdio>
+#include <memory>
+
+#include "eval/flags.h"
+#include "core/registry.h"
+#include "data/profiles.h"
+#include "eval/online_ab.h"
+#include "eval/table.h"
+#include "eval/trainer.h"
+#include "metrics/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace dcmt;
+  const eval::Flags flags(argc, argv,
+                           {{"pvs", "1500"},
+                            {"candidates", "30"},
+                            {"epochs", "4"},
+                            {"lr", "0.01"},
+                            {"lambda1", "1.0"},
+                            {"bins", "25"}});
+
+  const data::DatasetProfile profile = data::AlipaySearchProfile();
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+
+  models::ModelConfig model_config;
+  model_config.lambda1 = static_cast<float>(flags.GetDouble("lambda1"));
+  eval::TrainConfig train_config;
+  train_config.epochs = flags.GetInt("epochs");
+  train_config.learning_rate = static_cast<float>(flags.GetDouble("lr"));
+
+  const std::vector<std::string> bucket_names = {"mmoe", "escm2-ipw", "escm2-dr",
+                                                 "dcmt"};
+  std::vector<std::unique_ptr<models::MultiTaskModel>> bucket_models;
+  std::vector<models::MultiTaskModel*> bucket_ptrs;
+  for (const std::string& name : bucket_names) {
+    auto model = core::CreateModel(name, train.schema(), model_config);
+    std::fprintf(stderr, "[fig7] training %s...\n", name.c_str());
+    eval::Train(model.get(), train, train_config);
+    bucket_ptrs.push_back(model.get());
+    bucket_models.push_back(std::move(model));
+  }
+
+  // One simulated day of serving; the simulator records every bucket's pCVR
+  // over all scored candidates (the online inference space D).
+  eval::AbConfig ab_config;
+  ab_config.days = 1;
+  ab_config.page_views_per_day = flags.GetInt("pvs");
+  ab_config.candidates_per_pv = flags.GetInt("candidates");
+  eval::OnlineAbSimulator simulator(&generator, ab_config);
+  const std::vector<eval::BucketResult> results =
+      simulator.Run(bucket_ptrs, bucket_names);
+  const eval::PosteriorLevels posterior = simulator.posterior();
+
+  std::printf("=== Figure 7: online CVR prediction distributions over D "
+              "(day 1) ===\n\n");
+  std::printf("posterior CVR levels from the day-1 exposure log:\n"
+              "  over D (conversions/exposures) = %.3f\n"
+              "  over O (conversions/clicks)    = %.3f\n"
+              "  over N                         = %.3f\n\n",
+              posterior.over_d, posterior.over_o, posterior.over_n);
+
+  const int bins = flags.GetInt("bins");
+  for (const eval::BucketResult& r : results) {
+    metrics::Histogram histogram(bins, 0.0f, 1.0f);
+    histogram.AddAll(r.day1_cvr_predictions);
+    std::printf("--- %s: mean pCVR over D = %.3f ---\n", r.model.c_str(),
+                histogram.Mean());
+    std::printf("%s\n",
+                histogram
+                    .Render(48, {{static_cast<float>(posterior.over_d),
+                                  "posterior CVR over D"},
+                                 {static_cast<float>(posterior.over_o),
+                                  "posterior CVR over O"}})
+                    .c_str());
+  }
+
+  std::printf("Paper reference (Alipay, unscaled): ESCM²-IPW mean 0.676 and "
+              "ESCM²-DR mean 0.637 sit near posterior-O 0.760; DCMT mean "
+              "0.343 sits between posterior-D 0.130 and posterior-O.\n");
+  return 0;
+}

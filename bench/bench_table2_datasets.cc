@@ -1,0 +1,50 @@
+// Reproduces Table II: statistics of the experimental datasets.
+//
+// The paper reports #users, #items and the exposure/click/conversion counts
+// of the train and test splits for Ali-CCP, the four AliExpress country
+// slices, and the industrial Alipay Search log. Our synthetic profiles are
+// scaled ~1:350 (see DESIGN.md); the click-through and conversion *rates*
+// and their cross-dataset ordering are the reproduction target.
+
+#include <cstdio>
+
+#include "data/profiles.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace dcmt;
+
+  std::printf("=== Table II: experimental datasets (scaled reproduction) ===\n\n");
+
+  eval::AsciiTable table({"Dataset", "Split", "#User", "#Item", "#Exposure",
+                          "#Click", "#Conversion", "CTR", "CVR|click",
+                          "fake negatives"});
+
+  std::vector<data::DatasetProfile> profiles = data::AllOfflineProfiles();
+  profiles.push_back(data::AlipaySearchProfile());
+
+  for (const data::DatasetProfile& profile : profiles) {
+    data::SyntheticLogGenerator generator(profile);
+    const data::Dataset train = generator.GenerateTrain();
+    const data::Dataset test = generator.GenerateTest();
+    for (const auto* split : {&train, &test}) {
+      const data::DatasetStats s = split->Stats();
+      table.AddRow({profile.name, split == &train ? "Train" : "Test",
+                    std::to_string(split->DistinctUsers()),
+                    std::to_string(split->DistinctItems()),
+                    std::to_string(s.exposures), std::to_string(s.clicks),
+                    std::to_string(s.conversions),
+                    eval::AsciiTable::Num(s.click_rate, 4),
+                    eval::AsciiTable::Num(s.cvr_given_click, 4),
+                    std::to_string(s.fake_negatives)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper reference rates (unscaled): Ali-CCP CTR 0.0378 / CVR|click 0.0056;\n"
+      "AE-ES 0.0256/0.0226; AE-FR 0.0187/0.0265; AE-NL 0.0205/0.0356;\n"
+      "AE-US 0.0145/0.0241; Alipay Search 0.1774/0.7458.\n"
+      "Scaled profiles raise base rates (DESIGN.md) but preserve the ordering:\n"
+      "Ali-CCP has the sparsest conversions; Alipay Search is the densest.\n");
+  return 0;
+}

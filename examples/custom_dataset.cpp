@@ -1,0 +1,70 @@
+// Example: define a custom dataset profile (your own marketplace), export it
+// to CSV, reload it, and train DCMT on the loaded copy — the path a user
+// takes to plug their own exposure logs into this library.
+//
+//   ./build/examples/custom_dataset [csv_path]
+
+#include <cstdio>
+#include <string>
+
+#include "core/dcmt.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "eval/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace dcmt;
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/dcmt_custom_dataset.csv";
+
+  // 1. A custom profile: a niche marketplace with strong selection bias
+  //    (high α-coupling) and no wide features.
+  data::DatasetProfile profile;
+  profile.name = "my-marketplace";
+  profile.num_users = 800;
+  profile.num_items = 1200;
+  profile.train_exposures = 20000;
+  profile.test_exposures = 8000;
+  profile.target_click_rate = 0.07;
+  profile.target_cvr_given_click = 0.22;
+  profile.click_conv_coupling = 2.0f;  // strong NMAR selection bias
+  profile.with_wide_features = false;
+  profile.seed = 4242;
+
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+  const data::Dataset test = generator.GenerateTest();
+
+  // 2. Persist to CSV and reload — schema travels in the header, so the
+  //    reloaded dataset is self-describing (this is where you would load a
+  //    CSV exported from your own logs instead).
+  if (!data::WriteCsv(train, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  data::Dataset reloaded;
+  if (!data::ReadCsv(path, &reloaded)) {
+    std::fprintf(stderr, "cannot read back %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("round-tripped %lld exposures through %s\n",
+              static_cast<long long>(reloaded.size()), path.c_str());
+
+  // 3. Train DCMT on the reloaded data.
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 8;
+  core::Dcmt model(reloaded.schema(), model_config);
+  eval::TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.learning_rate = 0.01f;
+  eval::Train(&model, reloaded, train_config);
+
+  const eval::EvalResult result = eval::Evaluate(&model, test);
+  std::printf("CVR AUC (clicked) %.4f | CTCVR AUC %.4f | CTR AUC %.4f\n",
+              result.cvr_auc_clicked, result.ctcvr_auc, result.ctr_auc);
+  std::printf("mean pCVR over D %.4f (posterior D %.4f, posterior O %.4f)\n",
+              result.mean_cvr_pred, test.Stats().ctcvr_rate,
+              test.Stats().cvr_given_click);
+  return 0;
+}

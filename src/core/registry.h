@@ -1,0 +1,42 @@
+#ifndef DCMT_CORE_REGISTRY_H_
+#define DCMT_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "models/multi_task_model.h"
+
+namespace dcmt {
+namespace core {
+
+/// Descriptive metadata for the paper's Table III.
+struct ModelInfo {
+  std::string name;
+  std::string group;      // "parallel MTL" / "multi-gate MTL" / "causal" / "ours"
+  std::string structure;  // free-text structure summary
+  std::string main_idea;
+};
+
+/// Instantiates a model by registry name. Valid names: esmm, cross-stitch,
+/// mmoe, ple, aitm, escm2-ipw, escm2-dr, dcmt-pd, dcmt-cf, dcmt.
+/// Aborts on unknown names, listing the valid ones.
+std::unique_ptr<models::MultiTaskModel> CreateModel(
+    const std::string& name, const data::FeatureSchema& schema,
+    const models::ModelConfig& config);
+
+/// All registry names in the paper's Table IV column order.
+std::vector<std::string> AllModelNames();
+
+/// Table IV names plus the extension baselines (naive O-only estimator and
+/// Multi-IPW / Multi-DR from Zhang et al. 2020).
+std::vector<std::string> ExtendedModelNames();
+
+/// Table III rows for every registered model.
+std::vector<ModelInfo> AllModelInfo();
+
+}  // namespace core
+}  // namespace dcmt
+
+#endif  // DCMT_CORE_REGISTRY_H_

@@ -1,0 +1,62 @@
+#include "core/twin_tower.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tensor/ops.h"
+
+namespace dcmt {
+namespace core {
+
+TwinTower::TwinTower(std::string name, int deep_features, int wide_features,
+                     const std::vector<int>& hidden_dims, Rng* rng,
+                     bool hard_constraint)
+    : hard_constraint_(hard_constraint), wide_features_(wide_features) {
+  shared_trunk_ = std::make_unique<nn::Mlp>(name + ".trunk", deep_features,
+                                            hidden_dims, rng,
+                                            nn::Activation::kRelu);
+  RegisterChild(*shared_trunk_);
+  const int h = shared_trunk_->out_features();
+  factual_head_ = std::make_unique<nn::Linear>(name + ".head.f", h, 1, rng);
+  RegisterChild(*factual_head_);
+  counter_head_ = std::make_unique<nn::Linear>(name + ".head.cf", h, 1, rng);
+  RegisterChild(*counter_head_);
+  if (wide_features_ > 0) {
+    factual_wide_ =
+        std::make_unique<nn::Linear>(name + ".wide.f", wide_features_, 1, rng);
+    RegisterChild(*factual_wide_);
+    counter_wide_ =
+        std::make_unique<nn::Linear>(name + ".wide.cf", wide_features_, 1, rng);
+    RegisterChild(*counter_wide_);
+  }
+}
+
+std::pair<Tensor, Tensor> TwinTower::Forward(const Tensor& deep,
+                                             const Tensor& wide) const {
+  if ((wide_features_ > 0) != wide.defined()) {
+    std::fprintf(stderr, "TwinTower: wide input presence mismatch\n");
+    std::abort();
+  }
+  const Tensor h = shared_trunk_->Forward(deep);
+
+  Tensor factual_logit = factual_head_->Forward(h);
+  if (factual_wide_) {
+    factual_logit = ops::Add(factual_logit, factual_wide_->Forward(wide));
+  }
+  const Tensor factual = ops::Sigmoid(factual_logit);
+
+  if (hard_constraint_) {
+    // r̂* forced to 1 − r̂: the counterfactual prior as an identity, not a
+    // soft regularizer. Kept for the Fig. 8(c)/(d) ablation.
+    return {factual, ops::OneMinus(factual)};
+  }
+
+  Tensor counter_logit = counter_head_->Forward(h);
+  if (counter_wide_) {
+    counter_logit = ops::Add(counter_logit, counter_wide_->Forward(wide));
+  }
+  return {factual, ops::Sigmoid(counter_logit)};
+}
+
+}  // namespace core
+}  // namespace dcmt

@@ -1,0 +1,57 @@
+#ifndef DCMT_CORE_TWIN_TOWER_H_
+#define DCMT_CORE_TWIN_TOWER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace core {
+
+/// The paper's twin tower (Fig. 6 / Eq. 11-12): one wide&deep structure that
+/// predicts the factual CVR r̂ and the counterfactual CVR r̂* from the same
+/// input, simulating the two outcomes of a user's conversion decision.
+///
+/// Parameter partition per Eq. (12):
+///   θ_c  = θ^d           shared deep trunk ("the same thoughts")
+///   θ_f  = θ_f^w + θ_f^d  factual wide head + factual deep head
+///   θ_cf = θ_cf^w + θ_cf^d counterfactual wide head + counterfactual deep head
+///
+///   r̂  = σ( φ(x_w; θ_f^w)  + head_f(ψ(x_d; θ^d)) )
+///   r̂* = σ( φ(x_w; θ_cf^w) + head_cf(ψ(x_d; θ^d)) )
+///
+/// With `hard_constraint` the counterfactual head is bypassed and r̂* = 1 − r̂
+/// exactly (the ablation of Fig. 8(c)/(d)).
+class TwinTower : public nn::Module {
+ public:
+  /// `wide_features == 0` degenerates to a pure deep twin tower.
+  TwinTower(std::string name, int deep_features, int wide_features,
+            const std::vector<int>& hidden_dims, Rng* rng,
+            bool hard_constraint = false);
+
+  /// Returns {r̂, r̂*}. `wide` must be defined iff wide_features > 0.
+  std::pair<Tensor, Tensor> Forward(const Tensor& deep, const Tensor& wide) const;
+
+  bool hard_constraint() const { return hard_constraint_; }
+
+ private:
+  bool hard_constraint_;
+  int wide_features_;
+  std::unique_ptr<nn::Mlp> shared_trunk_;        // θ^d
+  std::unique_ptr<nn::Linear> factual_head_;     // θ_f^d
+  std::unique_ptr<nn::Linear> counter_head_;     // θ_cf^d
+  std::unique_ptr<nn::Linear> factual_wide_;     // θ_f^w (null without wide)
+  std::unique_ptr<nn::Linear> counter_wide_;     // θ_cf^w
+};
+
+}  // namespace core
+}  // namespace dcmt
+
+#endif  // DCMT_CORE_TWIN_TOWER_H_

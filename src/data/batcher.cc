@@ -1,0 +1,104 @@
+#include "data/batcher.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace dcmt {
+namespace data {
+
+Batch MakeBatch(const std::vector<Example>& examples,
+                const std::vector<std::int64_t>& indices, std::int64_t first,
+                int count, const FeatureSchema& schema) {
+  if (count <= 0) {
+    std::fprintf(stderr, "MakeBatch: non-positive count\n");
+    std::abort();
+  }
+  Batch batch;
+  batch.size = count;
+  const std::size_t n_deep = schema.deep_fields.size();
+  const std::size_t n_wide = schema.wide_fields.size();
+  batch.deep_ids.assign(n_deep, {});
+  batch.wide_ids.assign(n_wide, {});
+  for (auto& v : batch.deep_ids) v.reserve(static_cast<std::size_t>(count));
+  for (auto& v : batch.wide_ids) v.reserve(static_cast<std::size_t>(count));
+
+  std::vector<float> click(static_cast<std::size_t>(count));
+  std::vector<float> conv(static_cast<std::size_t>(count));
+  std::vector<float> ctcvr(static_cast<std::size_t>(count));
+  batch.click_raw.resize(static_cast<std::size_t>(count));
+  batch.conversion_raw.resize(static_cast<std::size_t>(count));
+  batch.true_ctr.resize(static_cast<std::size_t>(count));
+  batch.true_cvr.resize(static_cast<std::size_t>(count));
+
+  for (int b = 0; b < count; ++b) {
+    const Example& e = examples[static_cast<std::size_t>(indices[first + b])];
+    for (std::size_t f = 0; f < n_deep; ++f) batch.deep_ids[f].push_back(e.deep_ids[f]);
+    for (std::size_t f = 0; f < n_wide; ++f) batch.wide_ids[f].push_back(e.wide_ids[f]);
+    click[static_cast<std::size_t>(b)] = static_cast<float>(e.click);
+    conv[static_cast<std::size_t>(b)] = static_cast<float>(e.conversion);
+    ctcvr[static_cast<std::size_t>(b)] =
+        static_cast<float>(e.click && e.conversion ? 1 : 0);
+    batch.click_raw[static_cast<std::size_t>(b)] = e.click;
+    batch.conversion_raw[static_cast<std::size_t>(b)] = e.conversion;
+    batch.true_ctr[static_cast<std::size_t>(b)] = e.true_ctr;
+    batch.true_cvr[static_cast<std::size_t>(b)] = e.true_cvr;
+  }
+  batch.click = Tensor::ColumnVector(click);
+  batch.conversion = Tensor::ColumnVector(conv);
+  batch.ctcvr = Tensor::ColumnVector(ctcvr);
+  return batch;
+}
+
+Batch MakeContiguousBatch(const Dataset& dataset, std::int64_t first, int count) {
+  static thread_local std::vector<std::int64_t> identity;
+  const std::int64_t needed = first + count;
+  if (static_cast<std::int64_t>(identity.size()) < needed) {
+    const std::int64_t old = static_cast<std::int64_t>(identity.size());
+    identity.resize(static_cast<std::size_t>(needed));
+    std::iota(identity.begin() + old, identity.end(), old);
+  }
+  return MakeBatch(dataset.examples(), identity, first, count, dataset.schema());
+}
+
+Batcher::Batcher(const Dataset* dataset, int batch_size, Rng* rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  if (batch_size_ <= 0) {
+    std::fprintf(stderr, "Batcher: batch_size must be positive\n");
+    std::abort();
+  }
+  order_.resize(static_cast<std::size_t>(dataset_->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  ShuffleIfNeeded();
+}
+
+void Batcher::ShuffleIfNeeded() {
+  if (rng_ != nullptr) rng_->Shuffle(&order_);
+}
+
+bool Batcher::Next(Batch* batch) {
+  if (cursor_ >= dataset_->size()) {
+    // Epoch finished: report end once, then lazily start the next epoch.
+    cursor_ = 0;
+    fresh_epoch_ = false;
+    return false;
+  }
+  if (!fresh_epoch_ && cursor_ == 0) {
+    ShuffleIfNeeded();
+    fresh_epoch_ = true;
+  }
+  const int count = static_cast<int>(
+      std::min<std::int64_t>(batch_size_, dataset_->size() - cursor_));
+  *batch = MakeBatch(dataset_->examples(), order_, cursor_, count,
+                     dataset_->schema());
+  cursor_ += count;
+  if (cursor_ >= dataset_->size()) fresh_epoch_ = false;
+  return true;
+}
+
+std::int64_t Batcher::batches_per_epoch() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace data
+}  // namespace dcmt

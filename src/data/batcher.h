@@ -1,0 +1,78 @@
+#ifndef DCMT_DATA_BATCHER_H_
+#define DCMT_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace data {
+
+/// A minibatch in the layout models consume: field-major id lists plus
+/// constant label tensors. Label tensors never require grad.
+struct Batch {
+  /// deep_ids[f][b]: id of deep field f for example b.
+  std::vector<std::vector<int>> deep_ids;
+  /// wide_ids[f][b]: id of wide field f for example b (empty if schema has none).
+  std::vector<std::vector<int>> wide_ids;
+  /// Click labels o as a [B x 1] tensor.
+  Tensor click;
+  /// Observed conversion labels r as a [B x 1] tensor (0 outside O).
+  Tensor conversion;
+  /// CTCVR labels t = o AND r. In a well-formed log t == r, but keep a
+  /// separate tensor so malformed inputs cannot silently corrupt CTCVR.
+  Tensor ctcvr;
+  /// Raw click bytes for fast host-side masking (IPW weights, SNIPS sums).
+  std::vector<std::uint8_t> click_raw;
+  /// Raw conversion bytes.
+  std::vector<std::uint8_t> conversion_raw;
+  /// Generator ground-truth propensities (simulation oracle; models must
+  /// never read these — only evaluation utilities like the oracle ranker do).
+  std::vector<float> true_ctr;
+  std::vector<float> true_cvr;
+  int size = 0;
+};
+
+/// Assembles a batch from `examples[indices[first..first+count)]`.
+Batch MakeBatch(const std::vector<Example>& examples,
+                const std::vector<std::int64_t>& indices, std::int64_t first,
+                int count, const FeatureSchema& schema);
+
+/// Assembles one batch from a contiguous range of a dataset (used by
+/// evaluation, which streams a test set in order).
+Batch MakeContiguousBatch(const Dataset& dataset, std::int64_t first, int count);
+
+/// Iterates a dataset in minibatches, reshuffling per epoch when a rng is
+/// provided. The final short batch of an epoch is emitted (not dropped).
+class Batcher {
+ public:
+  /// `rng` may be null for sequential (evaluation) order. Non-owning; must
+  /// outlive the batcher.
+  Batcher(const Dataset* dataset, int batch_size, Rng* rng);
+
+  /// Fills `*batch` with the next minibatch; returns false at epoch end
+  /// (after which the next call starts a fresh, reshuffled epoch).
+  bool Next(Batch* batch);
+
+  /// Restarts the current epoch from the beginning (no reshuffle).
+  void Rewind() { cursor_ = 0; }
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  void ShuffleIfNeeded();
+
+  const Dataset* dataset_;
+  int batch_size_;
+  Rng* rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+  bool fresh_epoch_ = true;
+};
+
+}  // namespace data
+}  // namespace dcmt
+
+#endif  // DCMT_DATA_BATCHER_H_

@@ -1,0 +1,121 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace dcmt {
+namespace data {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, sep)) out.push_back(cell);
+  return out;
+}
+
+}  // namespace
+
+bool WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  // Header: schema-bearing column names.
+  out << "#dataset=" << dataset.name() << "\n";
+  bool first = true;
+  auto emit = [&](const std::string& col) {
+    if (!first) out << ",";
+    out << col;
+    first = false;
+  };
+  for (const auto& f : dataset.schema().deep_fields) {
+    emit("deep:" + f.name + ":" + std::to_string(f.vocab_size));
+  }
+  for (const auto& f : dataset.schema().wide_fields) {
+    emit("wide:" + f.name + ":" + std::to_string(f.vocab_size));
+  }
+  emit("click");
+  emit("conversion");
+  emit("oracle_conversion");
+  emit("true_ctr");
+  emit("true_cvr");
+  emit("user_index");
+  emit("item_index");
+  out << "\n";
+
+  for (const Example& e : dataset.examples()) {
+    first = true;
+    for (int id : e.deep_ids) emit(std::to_string(id));
+    for (int id : e.wide_ids) emit(std::to_string(id));
+    emit(std::to_string(static_cast<int>(e.click)));
+    emit(std::to_string(static_cast<int>(e.conversion)));
+    emit(std::to_string(static_cast<int>(e.oracle_conversion)));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", e.true_ctr);
+    emit(buf);
+    std::snprintf(buf, sizeof(buf), "%.6g", e.true_cvr);
+    emit(buf);
+    emit(std::to_string(e.user_index));
+    emit(std::to_string(e.item_index));
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadCsv(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path);
+  if (!in) return false;
+
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::string name = "csv";
+  if (line.rfind("#dataset=", 0) == 0) {
+    name = line.substr(9);
+    if (!std::getline(in, line)) return false;
+  }
+
+  FeatureSchema schema;
+  const std::vector<std::string> header = SplitLine(line, ',');
+  std::size_t n_deep = 0, n_wide = 0;
+  for (const std::string& col : header) {
+    const std::vector<std::string> parts = SplitLine(col, ':');
+    if (parts.size() == 3 && parts[0] == "deep") {
+      schema.deep_fields.push_back({parts[1], std::stoi(parts[2])});
+      ++n_deep;
+    } else if (parts.size() == 3 && parts[0] == "wide") {
+      schema.wide_fields.push_back({parts[1], std::stoi(parts[2])});
+      ++n_wide;
+    }
+  }
+  const std::size_t expected_cols = n_deep + n_wide + 7;
+  if (header.size() != expected_cols) return false;
+
+  std::vector<Example> examples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line, ',');
+    if (cells.size() != expected_cols) return false;
+    Example e;
+    std::size_t c = 0;
+    e.deep_ids.reserve(n_deep);
+    for (std::size_t f = 0; f < n_deep; ++f) e.deep_ids.push_back(std::stoi(cells[c++]));
+    e.wide_ids.reserve(n_wide);
+    for (std::size_t f = 0; f < n_wide; ++f) e.wide_ids.push_back(std::stoi(cells[c++]));
+    e.click = static_cast<std::uint8_t>(std::stoi(cells[c++]));
+    e.conversion = static_cast<std::uint8_t>(std::stoi(cells[c++]));
+    e.oracle_conversion = static_cast<std::uint8_t>(std::stoi(cells[c++]));
+    e.true_ctr = std::stof(cells[c++]);
+    e.true_cvr = std::stof(cells[c++]);
+    e.user_index = std::stoi(cells[c++]);
+    e.item_index = std::stoi(cells[c++]);
+    examples.push_back(std::move(e));
+  }
+  *dataset = Dataset(name, std::move(schema), std::move(examples));
+  return true;
+}
+
+}  // namespace data
+}  // namespace dcmt

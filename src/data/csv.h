@@ -1,0 +1,24 @@
+#ifndef DCMT_DATA_CSV_H_
+#define DCMT_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace dcmt {
+namespace data {
+
+/// Writes a dataset to CSV. The header encodes the schema
+/// (deep:<name>:<vocab> / wide:<name>:<vocab> columns, then labels and
+/// oracle columns), so a round-trip restores both examples and schema.
+/// Returns false on I/O failure.
+bool WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteCsv. Returns false on I/O or parse
+/// failure (in which case *dataset is untouched).
+bool ReadCsv(const std::string& path, Dataset* dataset);
+
+}  // namespace data
+}  // namespace dcmt
+
+#endif  // DCMT_DATA_CSV_H_

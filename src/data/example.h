@@ -1,0 +1,42 @@
+#ifndef DCMT_DATA_EXAMPLE_H_
+#define DCMT_DATA_EXAMPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcmt {
+namespace data {
+
+/// One exposure record ("impression") in the entire space D.
+///
+/// Observable part (what a production log contains):
+///   deep_ids / wide_ids — feature ids per field
+///   click               — o ∈ {0,1}
+///   conversion          — observed r; by construction 0 whenever click == 0
+///                         (the paper's click space O is {click == 1})
+///
+/// Oracle part (exists only because the data is synthetic; used exclusively
+/// by evaluation extensions and never shown to models):
+///   oracle_conversion   — the potential outcome r̃ = "would convert if
+///                         clicked"; in the non-click space N a record with
+///                         oracle_conversion == 1 is exactly one of the
+///                         paper's *fake negative* samples
+///   true_ctr / true_cvr — the generator's ground-truth propensities
+struct Example {
+  std::vector<int> deep_ids;
+  std::vector<int> wide_ids;
+  std::uint8_t click = 0;
+  std::uint8_t conversion = 0;
+  std::uint8_t oracle_conversion = 0;
+  float true_ctr = 0.0f;
+  float true_cvr = 0.0f;
+  /// User id (pre-hash), for grouping in the online simulator.
+  std::int32_t user_index = 0;
+  /// Item id (pre-hash).
+  std::int32_t item_index = 0;
+};
+
+}  // namespace data
+}  // namespace dcmt
+
+#endif  // DCMT_DATA_EXAMPLE_H_

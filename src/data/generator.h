@@ -1,0 +1,172 @@
+#ifndef DCMT_DATA_GENERATOR_H_
+#define DCMT_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/random.h"
+
+namespace dcmt {
+namespace data {
+
+/// Parameters of one synthetic dataset (the knobs that differentiate the
+/// Ali-CCP / AE-* profiles). All rates are *targets*; the generator
+/// calibrates intercepts so realized rates land close to them.
+struct DatasetProfile {
+  std::string name;
+
+  // Population sizes (scaled ~1:200 vs the paper's Table II).
+  int num_users = 2000;
+  int num_items = 4000;
+  std::int64_t train_exposures = 60000;
+  std::int64_t test_exposures = 30000;
+
+  // Behaviour targets.
+  double target_click_rate = 0.04;       // P(o=1) over D
+  double target_cvr_given_click = 0.10;  // P(r=1 | o=1)
+
+  // Structural causal model.
+  int latent_dim = 8;
+  /// Coupling of the conversion utility to the *observable* part of the
+  /// click utility (main effects, user/item biases, bucket affinity). A
+  /// model can learn this part away from features, so it shifts levels but
+  /// does not by itself create NMAR bias.
+  float click_conv_coupling = 0.8f;
+  /// Coupling of the conversion utility to the *unobservable* part of the
+  /// click utility (latent dot product + idiosyncratic noise). This is the
+  /// NMAR mechanism proper: the click space O converts more for reasons the
+  /// features cannot explain, so a model trained on O bakes the inflated
+  /// base rate into its bias and over-predicts on the non-click space N —
+  /// the phenomenon of the paper's Fig. 7. Zero gives an (observably)
+  /// missing-at-random control dataset.
+  float hidden_coupling = 2.5f;
+  /// Scale of the per-bucket main effects (segment/category for clicks,
+  /// tier/band for conversions): near-linear signal that embeddings + linear
+  /// heads learn within a few hundred steps.
+  float main_effect_scale = 1.0f;
+  /// Scale of the bucket-level pairwise affinity tables (segment x category
+  /// for clicks, tier x band for conversions): interaction signal that needs
+  /// tower capacity (or the wide cross features) to learn.
+  float affinity_scale = 0.6f;
+  /// Scale of the raw latent dot-product term: signal the features only
+  /// carry indirectly, i.e. the gap between a trained model and the oracle.
+  float latent_scale = 0.8f;
+  /// Std-dev of idiosyncratic noise added to each utility.
+  float utility_noise = 0.5f;
+  /// Per-position click log-odds decay (positions 0..9): exposure position
+  /// is one of the paper's stated sources of fake negatives — users never saw
+  /// the item.
+  float position_decay = 0.25f;
+
+  // Feature layout.
+  int user_hash_vocab = 1000;  // user id is hashed into this many buckets
+  int item_hash_vocab = 2000;
+  int num_segments = 32;    // user segment buckets (derived from latents)
+  int num_categories = 32;  // item category buckets
+  int num_tiers = 16;       // user purchasing-power tiers
+  int num_bands = 16;       // item price bands
+  bool with_wide_features = true;  // Ali-CCP has crosses; plain profiles may not
+
+  // Misc.
+  std::uint64_t seed = 2023;
+};
+
+/// Draws an entire-space exposure log ("exposure -> click -> conversion")
+/// from a structural causal model with known ground truth:
+///
+///   obs(i,j)  = m·(g_seg + g_cat) + a·A[seg_i, cat_j] + b_u(i) + b_v(j)
+///   hid(i,j)  = l·⟨u_i, v_j⟩ + ε_o          (invisible to features)
+///   s_o(i,j)  = obs + hid − decay·pos + c_o
+///   p_click   = σ(s_o)
+///   s_r(i,j)  = α_obs·obs + α_hid·hid + m·(g_tier + g_band)
+///               + a·B[tier_i, band_j] + l·⟨u'_i, v'_j⟩ + ε_r + c_r
+///   p_conv    = σ(s_r)                    (conversion-if-clicked propensity)
+///
+/// The α_hid channel is the NMAR mechanism: clicked exposures convert more
+/// for reasons the features cannot express, which is exactly the selection
+/// bias DCMT is designed to remove.
+///   o  ~ Bernoulli(p_click)
+///   r̃ ~ Bernoulli(p_conv)                (potential outcome, oracle only)
+///   r  = o · r̃                           (observed conversion)
+///
+/// Intercepts c_o, c_r are calibrated by bisection against the profile's
+/// target rates. Features are noisy discretizations of the latents plus
+/// hashed raw ids, so models have learnable but imperfect signal — like real
+/// logs. Identically-seeded generators produce identical datasets.
+class SyntheticLogGenerator {
+ public:
+  explicit SyntheticLogGenerator(DatasetProfile profile);
+
+  /// The feature schema implied by the profile.
+  FeatureSchema Schema() const;
+
+  /// Generates the train split (uses the profile seed).
+  Dataset GenerateTrain();
+
+  /// Generates the test split (independent draw, same population).
+  Dataset GenerateTest();
+
+  /// Generates `count` exposures with an arbitrary stream id (used by the
+  /// online simulator for per-day streams).
+  Dataset Generate(std::int64_t count, std::uint64_t stream);
+
+  /// Ground-truth click propensity for a (user, item, position) triple.
+  /// Exposed for the online simulator, which needs to roll user behaviour
+  /// on model-chosen exposures.
+  float TrueClickProbability(int user, int item, int position) const;
+
+  /// Ground-truth conversion-if-clicked propensity.
+  float TrueConversionProbability(int user, int item, int position) const;
+
+  /// Builds the Example record (features + ground truth, unlabelled) for a
+  /// (user, item, position) triple; labels are left zero.
+  Example MakeExample(int user, int item, int position) const;
+
+  const DatasetProfile& profile() const { return profile_; }
+
+ private:
+  void BuildPopulation();
+  void Calibrate();
+  /// Feature-recoverable part of the click utility (main effects, user/item
+  /// biases, bucket affinity).
+  float ObservableClickUtility(int user, int item) const;
+  /// Feature-invisible part (latent dot + idiosyncratic noise) — the channel
+  /// through which NMAR selection bias flows.
+  float HiddenClickUtility(int user, int item) const;
+  float ClickUtility(int user, int item, int position) const;
+  float ConversionUtility(int user, int item, int position) const;
+
+  DatasetProfile profile_;
+  // Latent factors, row-major [num_users x latent_dim] etc.
+  std::vector<float> user_click_factors_;
+  std::vector<float> user_conv_factors_;
+  std::vector<float> item_click_factors_;
+  std::vector<float> item_conv_factors_;
+  std::vector<float> user_bias_;
+  std::vector<float> item_bias_;
+  // Discretized feature views.
+  std::vector<int> user_segment_;
+  std::vector<int> user_tier_;
+  std::vector<int> item_category_;
+  std::vector<int> item_band_;
+  // Bucket-level affinity tables: the learnable part of each utility.
+  std::vector<float> click_affinity_;  // [num_segments x num_categories]
+  std::vector<float> conv_affinity_;   // [num_tiers x num_bands]
+  // Per-bucket main effects: the quickly-learnable near-linear signal.
+  std::vector<float> segment_bias_;
+  std::vector<float> category_bias_;
+  std::vector<float> tier_bias_;
+  std::vector<float> band_bias_;
+  // Per-(user,item) deterministic noise seeds keep utilities reproducible
+  // without storing an m*n matrix.
+  std::uint64_t noise_salt_ = 0;
+  float click_intercept_ = 0.0f;
+  float conv_intercept_ = 0.0f;
+};
+
+}  // namespace data
+}  // namespace dcmt
+
+#endif  // DCMT_DATA_GENERATOR_H_

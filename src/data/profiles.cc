@@ -1,0 +1,150 @@
+#include "data/profiles.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcmt {
+namespace data {
+
+DatasetProfile AliCcpProfile() {
+  DatasetProfile p;
+  p.name = "ali-ccp";
+  // The paper's largest and conversion-sparsest dataset; the only one with
+  // combination (wide cross) features.
+  p.num_users = 3000;
+  p.num_items = 8000;
+  p.train_exposures = 60000;
+  p.test_exposures = 30000;
+  p.target_click_rate = 0.10;
+  p.target_cvr_given_click = 0.06;
+  p.latent_dim = 8;
+  p.click_conv_coupling = 0.9f;
+  p.hidden_coupling = 2.8f;
+  p.affinity_scale = 0.6f;
+  p.latent_scale = 0.7f;
+  p.utility_noise = 0.6f;
+  p.user_hash_vocab = 1500;
+  p.item_hash_vocab = 3000;
+  p.with_wide_features = true;
+  p.seed = 20231;
+  return p;
+}
+
+namespace {
+
+/// Common base for the four AliExpress country slices: search-traffic logs,
+/// no combination features in the raw data (the paper lists combination and
+/// context features only for Ali-CCP).
+DatasetProfile AeBase() {
+  DatasetProfile p;
+  p.num_users = 2500;
+  p.num_items = 5000;
+  p.train_exposures = 60000;
+  p.test_exposures = 30000;
+  p.latent_dim = 8;
+  p.affinity_scale = 0.6f;
+  p.latent_scale = 0.6f;
+  p.utility_noise = 0.5f;
+  p.user_hash_vocab = 1200;
+  p.item_hash_vocab = 2500;
+  p.with_wide_features = false;
+  return p;
+}
+
+}  // namespace
+
+DatasetProfile AeEsProfile() {
+  DatasetProfile p = AeBase();
+  p.name = "ae-es";
+  p.target_click_rate = 0.08;
+  p.target_cvr_given_click = 0.18;
+  p.click_conv_coupling = 0.8f;
+  p.hidden_coupling = 2.5f;
+  p.seed = 20232;
+  return p;
+}
+
+DatasetProfile AeFrProfile() {
+  DatasetProfile p = AeBase();
+  p.name = "ae-fr";
+  p.target_click_rate = 0.06;
+  p.target_cvr_given_click = 0.20;
+  p.click_conv_coupling = 0.7f;
+  p.hidden_coupling = 2.2f;
+  p.utility_noise = 0.55f;
+  p.seed = 20233;
+  return p;
+}
+
+DatasetProfile AeNlProfile() {
+  DatasetProfile p = AeBase();
+  p.name = "ae-nl";
+  p.num_users = 1800;
+  p.num_items = 3500;
+  p.train_exposures = 50000;
+  p.test_exposures = 25000;
+  p.target_click_rate = 0.065;
+  p.target_cvr_given_click = 0.25;
+  p.click_conv_coupling = 0.6f;
+  p.hidden_coupling = 2.0f;
+  p.seed = 20234;
+  return p;
+}
+
+DatasetProfile AeUsProfile() {
+  DatasetProfile p = AeBase();
+  p.name = "ae-us";
+  p.target_click_rate = 0.05;
+  p.target_cvr_given_click = 0.19;
+  p.click_conv_coupling = 0.8f;
+  p.hidden_coupling = 2.6f;
+  p.utility_noise = 0.6f;
+  p.seed = 20235;
+  return p;
+}
+
+DatasetProfile AlipaySearchProfile() {
+  DatasetProfile p;
+  p.name = "alipay-search";
+  // Service search: far denser behaviour (Table II: 118M clicks / 665M
+  // exposures, 88M "conversions" = second clicks).
+  p.num_users = 4000;
+  p.num_items = 600;  // services, not goods: small catalogue like Table II
+  p.train_exposures = 80000;
+  p.test_exposures = 30000;
+  p.target_click_rate = 0.18;
+  p.target_cvr_given_click = 0.45;
+  p.latent_dim = 8;
+  p.click_conv_coupling = 0.8f;
+  p.hidden_coupling = 2.5f;
+  p.affinity_scale = 0.6f;
+  p.latent_scale = 0.6f;
+  p.utility_noise = 0.5f;
+  p.user_hash_vocab = 2000;
+  p.item_hash_vocab = 600;
+  p.with_wide_features = true;
+  p.seed = 20236;
+  return p;
+}
+
+std::vector<DatasetProfile> AllOfflineProfiles() {
+  return {AliCcpProfile(), AeEsProfile(), AeFrProfile(), AeNlProfile(),
+          AeUsProfile()};
+}
+
+DatasetProfile ProfileByName(const std::string& name) {
+  if (name == "ali-ccp") return AliCcpProfile();
+  if (name == "ae-es") return AeEsProfile();
+  if (name == "ae-fr") return AeFrProfile();
+  if (name == "ae-nl") return AeNlProfile();
+  if (name == "ae-us") return AeUsProfile();
+  if (name == "alipay-search") return AlipaySearchProfile();
+  std::fprintf(stderr,
+               "unknown dataset profile '%s'; valid: ali-ccp, ae-es, ae-fr, "
+               "ae-nl, ae-us, alipay-search\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace data
+}  // namespace dcmt

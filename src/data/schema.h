@@ -1,0 +1,47 @@
+#ifndef DCMT_DATA_SCHEMA_H_
+#define DCMT_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace dcmt {
+namespace data {
+
+/// One categorical feature field (all features in this library are
+/// categorical ids; dense features are quantized into bands by the
+/// generator, matching how industrial CTR/CVR pipelines discretize).
+struct FieldSpec {
+  std::string name;
+  int vocab_size = 0;
+};
+
+/// The feature layout shared by every model: deep fields (user profile, item
+/// detail, context — the paper's generalization features) and wide fields
+/// (crossed interaction features — the paper's memorization features).
+/// A dataset with no wide fields degrades models to pure deep structure,
+/// exactly as the paper notes.
+struct FeatureSchema {
+  std::vector<FieldSpec> deep_fields;
+  std::vector<FieldSpec> wide_fields;
+
+  /// Vocabulary sizes in field order, for constructing embedding bags.
+  std::vector<int> DeepVocabSizes() const {
+    std::vector<int> v;
+    v.reserve(deep_fields.size());
+    for (const auto& f : deep_fields) v.push_back(f.vocab_size);
+    return v;
+  }
+  std::vector<int> WideVocabSizes() const {
+    std::vector<int> v;
+    v.reserve(wide_fields.size());
+    for (const auto& f : wide_fields) v.push_back(f.vocab_size);
+    return v;
+  }
+
+  bool has_wide() const { return !wide_fields.empty(); }
+};
+
+}  // namespace data
+}  // namespace dcmt
+
+#endif  // DCMT_DATA_SCHEMA_H_

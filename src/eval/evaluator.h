@@ -1,0 +1,66 @@
+#ifndef DCMT_EVAL_EVALUATOR_H_
+#define DCMT_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/multi_task_model.h"
+
+namespace dcmt {
+namespace eval {
+
+/// All model outputs over a dataset, flattened for metric computation.
+struct PredictionLog {
+  std::vector<float> ctr;
+  std::vector<float> cvr;
+  std::vector<float> ctcvr;
+  std::vector<float> cvr_counterfactual;  // empty unless the model has one
+  std::vector<std::uint8_t> click;
+  std::vector<std::uint8_t> conversion;
+  std::vector<std::uint8_t> oracle_conversion;
+  /// Pre-hash user index per example (for GAUC grouping).
+  std::vector<std::int32_t> user_index;
+};
+
+/// Runs inference over `dataset` in minibatches (no gradients kept).
+PredictionLog Predict(models::MultiTaskModel* model, const data::Dataset& dataset,
+                      int batch_size = 4096);
+
+/// The paper's offline protocol plus simulation-only oracle extensions.
+struct EvalResult {
+  /// CVR AUC over *clicked* test samples (the paper's Table IV CVR metric —
+  /// the only protocol available on real logs).
+  double cvr_auc_clicked = 0.5;
+  /// CTCVR AUC over all exposures (Table IV CTCVR metric).
+  double ctcvr_auc = 0.5;
+  /// CTR AUC over all exposures (diagnostic; propensity quality).
+  double ctr_auc = 0.5;
+  /// Oracle: CVR AUC over the entire space D against potential-outcome
+  /// labels r̃ — measurable only in simulation; where direct-D debiasing
+  /// should show.
+  double cvr_auc_oracle = 0.5;
+  /// Intra-user ranking quality of pCTCVR over D (GAUC, industrial metric).
+  double ctcvr_gauc = 0.5;
+  /// PR AUC of pCVR on clicked samples (robust under class imbalance).
+  double cvr_pr_auc_clicked = 0.0;
+  /// Log losses for calibration analysis.
+  double cvr_logloss_clicked = 0.0;
+  double ctr_logloss = 0.0;
+  /// Mean pCVR over D / O / N (Fig. 7's distribution means).
+  double mean_cvr_pred = 0.0;
+  double mean_cvr_pred_clicked = 0.0;
+  double mean_cvr_pred_nonclicked = 0.0;
+};
+
+/// Computes EvalResult from a prediction log.
+EvalResult ComputeMetrics(const PredictionLog& log);
+
+/// Predict + ComputeMetrics.
+EvalResult Evaluate(models::MultiTaskModel* model, const data::Dataset& test,
+                    int batch_size = 4096);
+
+}  // namespace eval
+}  // namespace dcmt
+
+#endif  // DCMT_EVAL_EVALUATOR_H_

@@ -1,0 +1,64 @@
+#include "eval/experiment.h"
+
+#include "core/registry.h"
+#include "metrics/metrics.h"
+
+namespace dcmt {
+namespace eval {
+
+ExperimentResult RunOfflineExperiment(const std::string& model_name,
+                                      const data::Dataset& train,
+                                      const data::Dataset& test,
+                                      const models::ModelConfig& model_config,
+                                      const TrainConfig& train_config,
+                                      int repeats) {
+  ExperimentResult result;
+  result.model = model_name;
+  result.dataset = train.name();
+
+  std::vector<double> cvr_aucs, ctcvr_aucs, ctr_aucs, oracle_aucs, mean_preds;
+  for (int run = 0; run < repeats; ++run) {
+    models::ModelConfig mc = model_config;
+    mc.seed = model_config.seed + static_cast<std::uint64_t>(run) * 1000003ULL;
+    TrainConfig tc = train_config;
+    tc.seed = train_config.seed + static_cast<std::uint64_t>(run) * 999983ULL;
+
+    auto model = core::CreateModel(model_name, train.schema(), mc);
+    const TrainHistory history = Train(model.get(), train, tc);
+    const EvalResult eval = Evaluate(model.get(), test);
+
+    result.runs.push_back(eval);
+    result.train_seconds += history.seconds;
+    cvr_aucs.push_back(eval.cvr_auc_clicked);
+    ctcvr_aucs.push_back(eval.ctcvr_auc);
+    ctr_aucs.push_back(eval.ctr_auc);
+    oracle_aucs.push_back(eval.cvr_auc_oracle);
+    mean_preds.push_back(eval.mean_cvr_pred);
+  }
+
+  const metrics::Summary cvr = metrics::Summarize(cvr_aucs);
+  const metrics::Summary ctcvr = metrics::Summarize(ctcvr_aucs);
+  result.cvr_auc = cvr.mean;
+  result.cvr_auc_stddev = cvr.stddev;
+  result.ctcvr_auc = ctcvr.mean;
+  result.ctcvr_auc_stddev = ctcvr.stddev;
+  result.ctr_auc = metrics::Summarize(ctr_aucs).mean;
+  result.cvr_auc_oracle = metrics::Summarize(oracle_aucs).mean;
+  result.mean_cvr_pred = metrics::Summarize(mean_preds).mean;
+  return result;
+}
+
+ExperimentResult RunOfflineExperiment(const std::string& model_name,
+                                      const data::DatasetProfile& profile,
+                                      const models::ModelConfig& model_config,
+                                      const TrainConfig& train_config,
+                                      int repeats) {
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+  const data::Dataset test = generator.GenerateTest();
+  return RunOfflineExperiment(model_name, train, test, model_config,
+                              train_config, repeats);
+}
+
+}  // namespace eval
+}  // namespace dcmt

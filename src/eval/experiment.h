@@ -1,0 +1,53 @@
+#ifndef DCMT_EVAL_EXPERIMENT_H_
+#define DCMT_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "eval/trainer.h"
+#include "models/multi_task_model.h"
+
+namespace dcmt {
+namespace eval {
+
+/// Averaged offline result of training one model on one dataset profile
+/// `repeats` times with different seeds (the paper averages 5 runs).
+struct ExperimentResult {
+  std::string model;
+  std::string dataset;
+  double cvr_auc = 0.5;
+  double cvr_auc_stddev = 0.0;
+  double ctcvr_auc = 0.5;
+  double ctcvr_auc_stddev = 0.0;
+  double ctr_auc = 0.5;
+  double cvr_auc_oracle = 0.5;
+  double mean_cvr_pred = 0.0;
+  double train_seconds = 0.0;
+  std::vector<EvalResult> runs;
+};
+
+/// Trains `model_name` on the profile's train split `repeats` times (seeds
+/// derived from `config.seed` + run index) and evaluates on the test split.
+/// The same generated datasets are reused across repeats (only model init
+/// and shuffling vary), matching the paper's repeated-runs protocol.
+ExperimentResult RunOfflineExperiment(const std::string& model_name,
+                                      const data::DatasetProfile& profile,
+                                      const models::ModelConfig& model_config,
+                                      const TrainConfig& train_config,
+                                      int repeats = 1);
+
+/// Variant reusing already-generated train/test splits (benches generate a
+/// profile's data once and sweep many models over it).
+ExperimentResult RunOfflineExperiment(const std::string& model_name,
+                                      const data::Dataset& train,
+                                      const data::Dataset& test,
+                                      const models::ModelConfig& model_config,
+                                      const TrainConfig& train_config,
+                                      int repeats = 1);
+
+}  // namespace eval
+}  // namespace dcmt
+
+#endif  // DCMT_EVAL_EXPERIMENT_H_

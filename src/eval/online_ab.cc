@@ -1,0 +1,180 @@
+#include "eval/online_ab.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/batcher.h"
+#include "models/common.h"
+
+namespace dcmt {
+namespace eval {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic U(0,1) for an event key: the same (day, pv, item, position)
+/// event resolves identically in every bucket, which pairs the buckets and
+/// reduces A/B variance exactly like serving the same user twice would.
+float HashUniform(std::uint64_t key) {
+  return static_cast<float>(Mix(key) >> 40) * (1.0f / 16777216.0f);
+}
+
+struct PvRequest {
+  int user = 0;
+  std::vector<int> candidates;
+};
+
+}  // namespace
+
+OnlineAbSimulator::OnlineAbSimulator(data::SyntheticLogGenerator* generator,
+                                     AbConfig config)
+    : generator_(generator), config_(config) {}
+
+std::vector<BucketResult> OnlineAbSimulator::Run(
+    const std::vector<models::MultiTaskModel*>& bucket_models,
+    const std::vector<std::string>& bucket_names) {
+  const auto& profile = generator_->profile();
+  std::vector<BucketResult> results(bucket_models.size());
+  for (std::size_t b = 0; b < bucket_models.size(); ++b) {
+    results[b].model = bucket_names[b];
+  }
+
+  std::int64_t posterior_exposures = 0, posterior_clicks = 0,
+               posterior_convs = 0;
+
+  for (int day = 0; day < config_.days; ++day) {
+    // The day's traffic, identical for every bucket.
+    Rng traffic(Mix(config_.seed) ^ Mix(static_cast<std::uint64_t>(day) + 17));
+    std::vector<PvRequest> stream(static_cast<std::size_t>(config_.page_views_per_day));
+    for (auto& pv : stream) {
+      pv.user = static_cast<int>(traffic.NextBounded(profile.num_users));
+      pv.candidates.resize(static_cast<std::size_t>(config_.candidates_per_pv));
+      for (auto& item : pv.candidates) {
+        const float skew = traffic.Uniform();
+        item = std::min(profile.num_items - 1,
+                        static_cast<int>(skew * skew * profile.num_items));
+      }
+    }
+
+    // Pre-build the day's scoring examples (position 0 = scoring context).
+    std::vector<data::Example> scoring;
+    scoring.reserve(stream.size() *
+                    static_cast<std::size_t>(config_.candidates_per_pv));
+    for (const PvRequest& pv : stream) {
+      for (int item : pv.candidates) {
+        scoring.push_back(generator_->MakeExample(pv.user, item, /*position=*/0));
+      }
+    }
+    const data::Dataset day_dataset("ab-day", generator_->Schema(),
+                                    std::move(scoring));
+
+    for (std::size_t b = 0; b < bucket_models.size(); ++b) {
+      // Score all candidates in chunks.
+      std::vector<float> score_ctcvr;
+      std::vector<float> score_cvr;
+      score_ctcvr.reserve(static_cast<std::size_t>(day_dataset.size()));
+      score_cvr.reserve(static_cast<std::size_t>(day_dataset.size()));
+      constexpr int kChunk = 4096;
+      for (std::int64_t first = 0; first < day_dataset.size(); first += kChunk) {
+        const int count = static_cast<int>(
+            std::min<std::int64_t>(kChunk, day_dataset.size() - first));
+        const data::Batch batch =
+            data::MakeContiguousBatch(day_dataset, first, count);
+        const models::Predictions preds = bucket_models[b]->Forward(batch);
+        const std::vector<float> ctcvr = models::ColumnToVector(preds.ctcvr);
+        const std::vector<float> cvr = models::ColumnToVector(preds.cvr);
+        score_ctcvr.insert(score_ctcvr.end(), ctcvr.begin(), ctcvr.end());
+        score_cvr.insert(score_cvr.end(), cvr.begin(), cvr.end());
+      }
+      if (day == 0) {
+        results[b].day1_cvr_predictions = score_cvr;
+      }
+
+      // Rank within each page view, expose top-K, roll user behaviour.
+      DayMetrics metrics;
+      metrics.page_views = config_.page_views_per_day;
+      for (std::size_t p = 0; p < stream.size(); ++p) {
+        const PvRequest& pv = stream[p];
+        const std::size_t base = p * static_cast<std::size_t>(config_.candidates_per_pv);
+        std::vector<int> order(pv.candidates.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](int a, int c) {
+          return score_ctcvr[base + static_cast<std::size_t>(a)] >
+                 score_ctcvr[base + static_cast<std::size_t>(c)];
+        });
+        const int exposed =
+            std::min<int>(config_.exposed_per_pv,
+                          static_cast<int>(pv.candidates.size()));
+        for (int slot = 0; slot < exposed; ++slot) {
+          const int item = pv.candidates[static_cast<std::size_t>(order[slot])];
+          const std::uint64_t event_key =
+              Mix(static_cast<std::uint64_t>(day) * 1000003ULL + p) ^
+              Mix(static_cast<std::uint64_t>(pv.user) << 32 |
+                  static_cast<std::uint64_t>(item)) ^
+              Mix(static_cast<std::uint64_t>(slot) + 31337);
+          const float p_click =
+              generator_->TrueClickProbability(pv.user, item, slot);
+          const bool clicked = HashUniform(event_key) < p_click;
+          bool converted = false;
+          if (clicked) {
+            const float p_conv =
+                generator_->TrueConversionProbability(pv.user, item, slot);
+            converted = HashUniform(event_key ^ 0xc0ffeeULL) < p_conv;
+          }
+          metrics.clicks += clicked ? 1 : 0;
+          metrics.conversions += converted ? 1 : 0;
+          if (converted && slot < config_.first_screen) {
+            metrics.top5_pv_cvr += 1.0;  // accumulate count; normalize below
+          }
+          if (day == 0) {
+            ++posterior_exposures;
+            posterior_clicks += clicked ? 1 : 0;
+            posterior_convs += converted ? 1 : 0;
+          }
+        }
+      }
+      metrics.pv_ctr =
+          static_cast<double>(metrics.clicks) / metrics.page_views;
+      metrics.pv_cvr =
+          static_cast<double>(metrics.conversions) / metrics.page_views;
+      metrics.top5_pv_cvr /= static_cast<double>(metrics.page_views);
+      results[b].days.push_back(metrics);
+    }
+  }
+
+  // Overall = traffic-weighted mean over days.
+  for (BucketResult& r : results) {
+    DayMetrics total;
+    double top5_sum = 0.0;
+    for (const DayMetrics& d : r.days) {
+      total.page_views += d.page_views;
+      total.clicks += d.clicks;
+      total.conversions += d.conversions;
+      top5_sum += d.top5_pv_cvr * static_cast<double>(d.page_views);
+    }
+    if (total.page_views > 0) {
+      total.pv_ctr = static_cast<double>(total.clicks) / total.page_views;
+      total.pv_cvr = static_cast<double>(total.conversions) / total.page_views;
+      total.top5_pv_cvr = top5_sum / static_cast<double>(total.page_views);
+    }
+    r.overall = total;
+  }
+
+  posterior_.over_d =
+      posterior_exposures > 0
+          ? static_cast<double>(posterior_convs) / posterior_exposures
+          : 0.0;
+  posterior_.over_o = posterior_clicks > 0
+                          ? static_cast<double>(posterior_convs) / posterior_clicks
+                          : 0.0;
+  posterior_.over_n = 0.0;
+  return results;
+}
+
+}  // namespace eval
+}  // namespace dcmt

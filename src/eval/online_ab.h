@@ -1,0 +1,85 @@
+#ifndef DCMT_EVAL_ONLINE_AB_H_
+#define DCMT_EVAL_ONLINE_AB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "models/multi_task_model.h"
+
+namespace dcmt {
+namespace eval {
+
+/// Online A/B-test simulator standing in for the paper's Alipay Search
+/// serving + bucket platform (Table V, Fig. 7).
+///
+/// Each simulated day, every model bucket receives the *same* page-view
+/// stream: a user plus a candidate service list. The bucket's model scores
+/// every candidate by pCTCVR, the top `exposed_per_pv` are displayed at
+/// positions 0..K-1, and the simulated user then clicks/converts according
+/// to the generator's ground-truth propensities (position-aware). Business
+/// metrics follow the paper: PV-CTR, PV-CVR, and Top-5 PV-CVR (conversions
+/// on the first screen of 5).
+struct AbConfig {
+  int days = 7;
+  int page_views_per_day = 2000;
+  int candidates_per_pv = 30;
+  int exposed_per_pv = 10;
+  int first_screen = 5;
+  std::uint64_t seed = 808;
+};
+
+/// One bucket-day of business metrics.
+struct DayMetrics {
+  double pv_ctr = 0.0;
+  double pv_cvr = 0.0;
+  double top5_pv_cvr = 0.0;
+  std::int64_t page_views = 0;
+  std::int64_t clicks = 0;
+  std::int64_t conversions = 0;
+};
+
+/// Full A/B outcome of one bucket.
+struct BucketResult {
+  std::string model;
+  std::vector<DayMetrics> days;
+  DayMetrics overall;
+  /// Day-1 pCVR over the inference space D (all scored candidates) — the
+  /// Fig. 7 prediction-distribution sample.
+  std::vector<float> day1_cvr_predictions;
+};
+
+/// Posterior CVR levels of the day-1 exposure log (Fig. 7's dashed marks):
+/// over D (conversions/exposures), O (conversions/clicks), N (0 by definition).
+struct PosteriorLevels {
+  double over_d = 0.0;
+  double over_o = 0.0;
+  double over_n = 0.0;
+};
+
+class OnlineAbSimulator {
+ public:
+  /// `generator` supplies ground-truth behaviour; non-owning, must outlive
+  /// the simulator.
+  OnlineAbSimulator(data::SyntheticLogGenerator* generator, AbConfig config);
+
+  /// Runs all buckets on identical traffic. `bucket_models[i]` labels and
+  /// scores bucket i. Returns per-bucket results in the same order.
+  std::vector<BucketResult> Run(
+      const std::vector<models::MultiTaskModel*>& bucket_models,
+      const std::vector<std::string>& bucket_names);
+
+  /// Day-1 posterior CVR levels aggregated across buckets' exposure logs.
+  const PosteriorLevels& posterior() const { return posterior_; }
+
+ private:
+  data::SyntheticLogGenerator* generator_;
+  AbConfig config_;
+  PosteriorLevels posterior_;
+};
+
+}  // namespace eval
+}  // namespace dcmt
+
+#endif  // DCMT_EVAL_ONLINE_AB_H_

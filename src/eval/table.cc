@@ -1,0 +1,58 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dcmt {
+namespace eval {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string AsciiTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace eval
+}  // namespace dcmt

@@ -1,0 +1,33 @@
+#ifndef DCMT_EVAL_TABLE_H_
+#define DCMT_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dcmt {
+namespace eval {
+
+/// Minimal aligned ASCII table for the benchmark harnesses' paper-style
+/// output (Tables II, IV, V).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with column alignment and a header separator.
+  std::string Render() const;
+
+  /// Formats a double with the given precision ("%.*f").
+  static std::string Num(double value, int precision = 4);
+  /// Formats a percentage delta with sign ("+1.23%").
+  static std::string Pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace dcmt
+
+#endif  // DCMT_EVAL_TABLE_H_

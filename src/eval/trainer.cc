@@ -1,0 +1,128 @@
+#include "eval/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "data/batcher.h"
+#include "eval/evaluator.h"
+#include "optim/adam.h"
+
+namespace dcmt {
+namespace eval {
+namespace {
+
+/// Snapshot of all parameter values (for best-epoch restoration).
+std::vector<std::vector<float>> SnapshotParameters(
+    const models::MultiTaskModel& model) {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(model.parameters().size());
+  for (const Tensor& p : model.parameters()) snapshot.push_back(p.ToVector());
+  return snapshot;
+}
+
+void RestoreParameters(models::MultiTaskModel* model,
+                       const std::vector<std::vector<float>>& snapshot) {
+  const auto& params = model->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor p = params[i];  // shared handle
+    std::copy(snapshot[i].begin(), snapshot[i].end(), p.data());
+  }
+}
+
+}  // namespace
+
+TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
+                   const TrainConfig& config) {
+  TrainHistory history;
+  const auto start = std::chrono::steady_clock::now();
+
+  // Optional validation split from the tail (chronological-style holdout).
+  data::Dataset fit_split = train;
+  data::Dataset val_split;
+  const bool has_validation =
+      config.validation_fraction > 0.0 && config.validation_fraction < 1.0;
+  if (has_validation) {
+    const std::int64_t head =
+        train.size() -
+        static_cast<std::int64_t>(static_cast<double>(train.size()) *
+                                  config.validation_fraction);
+    auto [fit, val] = train.SplitAt(head);
+    fit_split = std::move(fit);
+    val_split = std::move(val);
+  }
+
+  Rng shuffle_rng(config.seed);
+  data::Batcher batcher(&fit_split, config.batch_size, &shuffle_rng);
+  optim::Adam adam(model->parameters(), config.learning_rate, 0.9f, 0.999f,
+                   1e-8f, config.weight_decay);
+
+  double best_val_auc = -1.0;
+  int best_epoch = -1;
+  int epochs_since_best = 0;
+  std::vector<std::vector<float>> best_snapshot;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    std::int64_t batches = 0;
+    data::Batch batch;
+    while (batcher.Next(&batch)) {
+      adam.ZeroGrad();
+      models::Predictions preds = model->Forward(batch);
+      Tensor loss = model->Loss(batch, preds);
+      loss.Backward();
+      if (config.grad_clip > 0.0f) adam.ClipGradNorm(config.grad_clip);
+      adam.Step();
+      loss_sum += loss.item();
+      ++batches;
+      ++history.steps;
+    }
+    const double epoch_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    history.epoch_loss.push_back(epoch_loss);
+    history.final_epoch = epoch;
+
+    if (config.lr_decay != 1.0f) {
+      adam.set_lr(adam.lr() * config.lr_decay);
+    }
+
+    if (has_validation && !val_split.empty()) {
+      const EvalResult val = Evaluate(model, val_split);
+      history.validation_cvr_auc.push_back(val.cvr_auc_clicked);
+      if (config.verbose) {
+        std::fprintf(stderr, "[train %s] epoch %d/%d loss %.5f val cvr auc %.4f\n",
+                     model->name().c_str(), epoch + 1, config.epochs, epoch_loss,
+                     val.cvr_auc_clicked);
+      }
+      if (config.early_stopping_patience > 0) {
+        if (val.cvr_auc_clicked > best_val_auc) {
+          best_val_auc = val.cvr_auc_clicked;
+          best_epoch = epoch;
+          best_snapshot = SnapshotParameters(*model);
+          epochs_since_best = 0;
+        } else if (++epochs_since_best >= config.early_stopping_patience) {
+          RestoreParameters(model, best_snapshot);
+          history.final_epoch = best_epoch;
+          break;
+        }
+      }
+    } else if (config.verbose) {
+      std::fprintf(stderr, "[train %s] epoch %d/%d loss %.5f\n",
+                   model->name().c_str(), epoch + 1, config.epochs, epoch_loss);
+    }
+  }
+
+  // If training ended normally but an earlier epoch was strictly better on
+  // validation, keep the best parameters (standard model selection).
+  if (config.early_stopping_patience > 0 && best_epoch >= 0 &&
+      best_epoch != history.final_epoch && !best_snapshot.empty()) {
+    RestoreParameters(model, best_snapshot);
+    history.final_epoch = best_epoch;
+  }
+
+  history.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return history;
+}
+
+}  // namespace eval
+}  // namespace dcmt

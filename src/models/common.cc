@@ -1,0 +1,100 @@
+#include "models/common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tensor/ops.h"
+
+namespace dcmt {
+namespace models {
+
+SharedEmbeddings::SharedEmbeddings(const data::FeatureSchema& schema, int dim,
+                                   Rng* rng) {
+  deep_bag_ = std::make_unique<nn::EmbeddingBag>("embed.deep",
+                                                 schema.DeepVocabSizes(), dim, rng);
+  RegisterChild(*deep_bag_);
+  if (schema.has_wide()) {
+    wide_bag_ = std::make_unique<nn::EmbeddingBag>(
+        "embed.wide", schema.WideVocabSizes(), dim, rng);
+    RegisterChild(*wide_bag_);
+  }
+}
+
+Tensor SharedEmbeddings::DeepInput(const data::Batch& batch) const {
+  return deep_bag_->Forward(batch.deep_ids);
+}
+
+Tensor SharedEmbeddings::WideInput(const data::Batch& batch) const {
+  if (!wide_bag_) return Tensor();
+  return wide_bag_->Forward(batch.wide_ids);
+}
+
+Tower::Tower(std::string name, int in_features,
+             const std::vector<int>& hidden_dims, Rng* rng) {
+  trunk_ = std::make_unique<nn::Mlp>(name + ".trunk", in_features, hidden_dims,
+                                     rng, nn::Activation::kRelu);
+  RegisterChild(*trunk_);
+  head_ = std::make_unique<nn::Linear>(name + ".head", trunk_->out_features(), 1,
+                                       rng);
+  RegisterChild(*head_);
+}
+
+Tensor Tower::ForwardLogit(const Tensor& x) const {
+  return head_->Forward(trunk_->Forward(x));
+}
+
+Tensor Tower::ForwardProb(const Tensor& x) const {
+  return ops::Sigmoid(ForwardLogit(x));
+}
+
+Tensor CtrLoss(const Tensor& pctr, const data::Batch& batch) {
+  return ops::Mean(ops::BceLoss(pctr, batch.click));
+}
+
+Tensor CtcvrLoss(const Tensor& pctcvr, const data::Batch& batch) {
+  return ops::Mean(ops::BceLoss(pctcvr, batch.ctcvr));
+}
+
+Tensor CvrLossClickedOnly(const Tensor& pcvr, const data::Batch& batch) {
+  std::int64_t clicked = 0;
+  for (std::uint8_t o : batch.click_raw) clicked += o;
+  if (clicked == 0) return Tensor::Scalar(0.0f, /*requires_grad=*/false);
+  std::vector<float> mask(static_cast<std::size_t>(batch.size));
+  const float inv = 1.0f / static_cast<float>(clicked);
+  for (int i = 0; i < batch.size; ++i) {
+    mask[static_cast<std::size_t>(i)] =
+        batch.click_raw[static_cast<std::size_t>(i)] ? inv : 0.0f;
+  }
+  const Tensor weights = Tensor::ColumnVector(mask);
+  return ops::WeightedSum(ops::BceLoss(pcvr, batch.conversion), weights);
+}
+
+Tensor IpwCvrLoss(const Tensor& pcvr, const Tensor& pctr_detached,
+                  const data::Batch& batch, float clip) {
+  if (pctr_detached.requires_grad()) {
+    std::fprintf(stderr, "IpwCvrLoss: propensities must be detached\n");
+    std::abort();
+  }
+  const float* p = pctr_detached.data();
+  std::vector<float> weights(static_cast<std::size_t>(batch.size), 0.0f);
+  const float inv_b = 1.0f / static_cast<float>(batch.size);
+  for (int i = 0; i < batch.size; ++i) {
+    if (batch.click_raw[static_cast<std::size_t>(i)]) {
+      const float prop = std::clamp(p[i], clip, 1.0f - clip);
+      weights[static_cast<std::size_t>(i)] = inv_b / prop;
+    }
+  }
+  const Tensor w = Tensor::ColumnVector(weights);
+  return ops::WeightedSum(ops::BceLoss(pcvr, batch.conversion), w);
+}
+
+std::vector<float> ColumnToVector(const Tensor& t) {
+  std::vector<float> out(static_cast<std::size_t>(t.rows()));
+  const float* d = t.data();
+  for (int i = 0; i < t.rows(); ++i) out[static_cast<std::size_t>(i)] = d[i];
+  return out;
+}
+
+}  // namespace models
+}  // namespace dcmt

@@ -1,0 +1,94 @@
+#ifndef DCMT_MODELS_MULTI_TASK_MODEL_H_
+#define DCMT_MODELS_MULTI_TASK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/batcher.h"
+#include "data/schema.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace models {
+
+/// Hyper-parameters shared by every model in the zoo. Defaults follow the
+/// paper's settings (Section IV-A2), scaled where DESIGN.md documents it.
+struct ModelConfig {
+  /// Embedding dimension for every feature (paper Fig. 8(a); paper default 32,
+  /// our scaled default 16 — the paper's own sweep peaks at 16).
+  int embedding_dim = 16;
+  /// Hidden widths of the deep towers (paper: [64,64,32] on AE).
+  std::vector<int> hidden_dims = {64, 32};
+  /// Number of experts for MMOE.
+  int num_experts = 4;
+  /// PLE: specific experts per task and shared experts.
+  int specific_experts = 2;
+  int shared_experts = 2;
+  /// Propensity clip: p̂ is clamped to [clip, 1-clip] before any 1/p̂ or
+  /// 1/(1-p̂) — the paper's "(0,1)" clipping to avoid NaN loss.
+  float propensity_clip = 0.1f;
+  /// Weight λ1 of DCMT's counterfactual regularizer.
+  float lambda1 = 1e-3f;
+  /// Loss weights w^cvr, w^ctcvr of Eq. (14) (paper sets both to 1).
+  float w_cvr = 1.0f;
+  float w_ctcvr = 1.0f;
+  /// ESCM²-only weight of its CTCVR "global risk" term. The ESCM² paper
+  /// tunes this auxiliary weight low; with a large weight the CTCVR product
+  /// dominates the CVR head over N and the model no longer exhibits the
+  /// predict-near-posterior-O behaviour the DCMT paper reports (Fig. 7).
+  float escm2_global_risk_weight = 0.1f;
+  /// DCMT ablations: hard constraint r̂* = 1 − r̂ (Fig. 8(c)/(d)) and SNIPS
+  /// self-normalization (Section III-F).
+  bool hard_constraint = false;
+  bool self_normalize = true;
+
+  // --- Counterfactual-strategy extensions (the paper's stated future work:
+  // "study the effect of different counterfactual strategies"). Defaults
+  // reproduce the paper's mechanism exactly. ---
+
+  /// Label smoothing ε for the counterfactual labels r* = 1 − r: the
+  /// mirrored positives in N* become 1 − ε. Softens the fake-positive
+  /// problem the paper attributes to N* (Section III-C). 0 = paper's exact
+  /// mirror labels.
+  float counterfactual_label_smoothing = 0.0f;
+  /// Target c of the prior constraint r̂ + r̂* ≈ c. The paper's prior is
+  /// c = 1 (a conversion decision has exactly two outcomes); other values
+  /// explore weaker/stronger priors.
+  float counterfactual_prior_sum = 1.0f;
+  /// Parameter initialization seed.
+  std::uint64_t seed = 7;
+};
+
+/// Multi-task predictions on one batch. `cvr_counterfactual` is only defined
+/// for the DCMT family (the twin tower's second head).
+struct Predictions {
+  Tensor ctr;
+  Tensor cvr;
+  Tensor ctcvr;
+  Tensor cvr_counterfactual;
+};
+
+/// Interface every CTR/CVR/CTCVR multi-task model implements. A model owns
+/// its embeddings and towers; the trainer owns batching and optimization.
+class MultiTaskModel : public nn::Module {
+ public:
+  ~MultiTaskModel() override = default;
+
+  /// Builds the forward graph for one batch.
+  virtual Predictions Forward(const data::Batch& batch) = 0;
+
+  /// Builds the scalar training loss from a batch and its predictions.
+  /// (L2 regularization is applied by the optimizer as coupled weight decay,
+  /// equivalent to the λ2‖θ‖² term of Eq. (14).)
+  virtual Tensor Loss(const data::Batch& batch, const Predictions& preds) = 0;
+
+  /// Registry name ("esmm", "dcmt", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace models
+}  // namespace dcmt
+
+#endif  // DCMT_MODELS_MULTI_TASK_MODEL_H_

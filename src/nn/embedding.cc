@@ -1,0 +1,42 @@
+#include "nn/embedding.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace dcmt {
+namespace nn {
+
+EmbeddingBag::EmbeddingBag(std::string name, std::vector<int> vocab_sizes,
+                           int dim, Rng* rng)
+    : vocab_sizes_(std::move(vocab_sizes)), dim_(dim) {
+  if (vocab_sizes_.empty() || dim <= 0) {
+    std::fprintf(stderr, "EmbeddingBag requires fields and positive dim\n");
+    std::abort();
+  }
+  for (std::size_t f = 0; f < vocab_sizes_.size(); ++f) {
+    Tensor table = EmbeddingInit(vocab_sizes_[f], dim_, rng);
+    tables_.push_back(
+        RegisterParameter(name + ".field" + std::to_string(f), table));
+  }
+}
+
+Tensor EmbeddingBag::Forward(
+    const std::vector<std::vector<int>>& field_ids) const {
+  if (field_ids.size() != tables_.size()) {
+    std::fprintf(stderr, "EmbeddingBag: expected %zu fields, got %zu\n",
+                 tables_.size(), field_ids.size());
+    std::abort();
+  }
+  std::vector<Tensor> parts;
+  parts.reserve(tables_.size());
+  for (std::size_t f = 0; f < tables_.size(); ++f) {
+    parts.push_back(ops::EmbeddingLookup(tables_[f], field_ids[f]));
+  }
+  return parts.size() == 1 ? parts[0] : ops::ConcatCols(parts);
+}
+
+}  // namespace nn
+}  // namespace dcmt

@@ -1,0 +1,46 @@
+#ifndef DCMT_NN_EMBEDDING_H_
+#define DCMT_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace nn {
+
+/// One embedding table per categorical field, concatenated per example:
+/// the paper's shared Embedding Layer. Input is field-major: `field_ids[f][b]`
+/// is the id of field f for example b; output is [batch x fields*dim].
+///
+/// Both CTR Task and CVR Task share one EmbeddingBag instance (the paper's
+/// "shared features"), which is why it is a standalone module rather than
+/// being folded into a tower.
+class EmbeddingBag : public Module {
+ public:
+  /// `vocab_sizes[f]` is the number of distinct ids of field f; all fields
+  /// share the embedding dimension `dim` (the paper uses one dim for every
+  /// feature, swept in Fig. 8(a)).
+  EmbeddingBag(std::string name, std::vector<int> vocab_sizes, int dim, Rng* rng);
+
+  /// Looks up and concatenates all field embeddings.
+  Tensor Forward(const std::vector<std::vector<int>>& field_ids) const;
+
+  int field_count() const { return static_cast<int>(tables_.size()); }
+  int dim() const { return dim_; }
+  /// Output width = field_count() * dim().
+  int out_features() const { return field_count() * dim_; }
+  const Tensor& table(int field) const { return tables_[field]; }
+
+ private:
+  std::vector<Tensor> tables_;
+  std::vector<int> vocab_sizes_;
+  int dim_;
+};
+
+}  // namespace nn
+}  // namespace dcmt
+
+#endif  // DCMT_NN_EMBEDDING_H_

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace dcmt {
+namespace nn {
+
+Tensor XavierUniform(int fan_in, int fan_out, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(fan_in, fan_out, -a, a, rng, /*requires_grad=*/true);
+}
+
+Tensor HeNormal(int fan_in, int fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn(fan_in, fan_out, stddev, rng, /*requires_grad=*/true);
+}
+
+Tensor EmbeddingInit(int vocab, int dim, Rng* rng, float scale) {
+  return Tensor::Randn(vocab, dim, scale, rng, /*requires_grad=*/true);
+}
+
+}  // namespace nn
+}  // namespace dcmt

@@ -1,0 +1,23 @@
+#ifndef DCMT_NN_INIT_H_
+#define DCMT_NN_INIT_H_
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace nn {
+
+/// Xavier/Glorot uniform initialization: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+/// Appropriate for sigmoid/tanh layers (all sigmoid heads in this library).
+Tensor XavierUniform(int fan_in, int fan_out, Rng* rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2/fan_in)). For ReLU layers.
+Tensor HeNormal(int fan_in, int fan_out, Rng* rng);
+
+/// Small-scale normal initialization for embedding tables: N(0, scale).
+Tensor EmbeddingInit(int vocab, int dim, Rng* rng, float scale = 0.05f);
+
+}  // namespace nn
+}  // namespace dcmt
+
+#endif  // DCMT_NN_INIT_H_

@@ -1,0 +1,41 @@
+#ifndef DCMT_NN_MLP_H_
+#define DCMT_NN_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace dcmt {
+namespace nn {
+
+/// Activation applied between Mlp layers (the output layer is always linear;
+/// callers add their own head nonlinearity, typically sigmoid).
+enum class Activation { kRelu, kTanh, kSigmoid };
+
+/// Multi-layer perceptron ψ(x; θ): the deep towers of every model in this
+/// library. `hidden_dims` lists hidden layer widths, e.g. the paper's
+/// [64, 64, 32] structure for the AE datasets; the final hidden output is the
+/// tower representation (no projection head — compose with Linear for logits).
+class Mlp : public Module {
+ public:
+  Mlp(std::string name, int in_features, std::vector<int> hidden_dims,
+      Rng* rng, Activation activation = Activation::kRelu);
+
+  /// Maps [batch x in] to [batch x hidden_dims.back()].
+  Tensor Forward(const Tensor& x) const;
+
+  int out_features() const;
+  int depth() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+}  // namespace nn
+}  // namespace dcmt
+
+#endif  // DCMT_NN_MLP_H_

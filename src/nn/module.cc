@@ -1,0 +1,27 @@
+#include "nn/module.h"
+
+namespace dcmt {
+namespace nn {
+
+std::int64_t Module::ParameterCount() const {
+  std::int64_t total = 0;
+  for (const Tensor& t : parameters_) total += t.size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : parameters_) t.ZeroGrad();
+}
+
+Tensor Module::RegisterParameter(std::string name, Tensor t) {
+  t.set_name(std::move(name));
+  parameters_.push_back(t);
+  return t;
+}
+
+void Module::RegisterChild(const Module& child) {
+  for (const Tensor& t : child.parameters()) parameters_.push_back(t);
+}
+
+}  // namespace nn
+}  // namespace dcmt

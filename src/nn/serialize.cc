@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dcmt {
+namespace nn {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'M', 'T', 'C', 'K', 'P', '1'};
+
+bool WriteBytes(std::ofstream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  return static_cast<bool>(out);
+}
+
+bool ReadBytes(std::ifstream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  if (!WriteBytes(out, kMagic, sizeof(kMagic))) return false;
+  const std::uint32_t count = static_cast<std::uint32_t>(module.parameters().size());
+  if (!WriteBytes(out, &count, sizeof(count))) return false;
+
+  for (const Tensor& p : module.parameters()) {
+    const std::string& name = p.name();
+    const std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
+    const std::int32_t rows = p.rows();
+    const std::int32_t cols = p.cols();
+    if (!WriteBytes(out, &name_len, sizeof(name_len))) return false;
+    if (!WriteBytes(out, name.data(), name.size())) return false;
+    if (!WriteBytes(out, &rows, sizeof(rows))) return false;
+    if (!WriteBytes(out, &cols, sizeof(cols))) return false;
+    if (!WriteBytes(out, p.data(), sizeof(float) * static_cast<std::size_t>(p.size()))) {
+      return false;
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  if (!ReadBytes(in, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  std::uint32_t count = 0;
+  if (!ReadBytes(in, &count, sizeof(count))) return false;
+  if (count != module->parameters().size()) return false;
+
+  // Stage everything first so a malformed file cannot half-update the model.
+  std::vector<std::vector<float>> staged(count);
+  const auto& params = module->parameters();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    if (!ReadBytes(in, &name_len, sizeof(name_len)) || name_len > 4096) {
+      return false;
+    }
+    std::string name(name_len, '\0');
+    if (!ReadBytes(in, name.data(), name_len)) return false;
+    std::int32_t rows = 0, cols = 0;
+    if (!ReadBytes(in, &rows, sizeof(rows))) return false;
+    if (!ReadBytes(in, &cols, sizeof(cols))) return false;
+    const Tensor& p = params[i];
+    if (name != p.name() || rows != p.rows() || cols != p.cols()) return false;
+    staged[i].resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+    if (!ReadBytes(in, staged[i].data(), sizeof(float) * staged[i].size())) {
+      return false;
+    }
+  }
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Tensor p = params[i];  // shared handle: writes reach the module
+    std::memcpy(p.data(), staged[i].data(), sizeof(float) * staged[i].size());
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace dcmt

@@ -1,0 +1,26 @@
+#ifndef DCMT_NN_SERIALIZE_H_
+#define DCMT_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace dcmt {
+namespace nn {
+
+/// Writes all parameters of `module` to a binary checkpoint. The format is
+/// self-describing: a magic/version header, then per-parameter records of
+/// (name, rows, cols, float32 data) in registration order. Returns false on
+/// I/O failure.
+bool SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint written by SaveParameters into `module`. Every
+/// parameter must match by name, order and shape — a checkpoint from a
+/// different architecture (or hyper-parameters) is rejected and the module
+/// is left unchanged. Returns false on I/O failure or mismatch.
+bool LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace dcmt
+
+#endif  // DCMT_NN_SERIALIZE_H_

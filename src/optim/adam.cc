@@ -1,0 +1,47 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace dcmt {
+namespace optim {
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Tensor& p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p.size()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(p.size()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace dcmt

@@ -1,0 +1,28 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace dcmt {
+namespace optim {
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad();
+    for (std::int64_t i = 0; i < p.size(); ++i) sq += static_cast<double>(g[i]) * g[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      if (!p.has_grad()) continue;
+      float* g = p.grad();
+      for (std::int64_t i = 0; i < p.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace dcmt

@@ -1,0 +1,43 @@
+#ifndef DCMT_OPTIM_OPTIMIZER_H_
+#define DCMT_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace optim {
+
+/// Base interface for gradient-descent optimizers. An optimizer holds shared
+/// handles to the parameters it updates; Step() consumes the gradients
+/// accumulated since the last ZeroGrad().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using current gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+  }
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+}  // namespace optim
+}  // namespace dcmt
+
+#endif  // DCMT_OPTIM_OPTIMIZER_H_

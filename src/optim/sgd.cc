@@ -1,0 +1,38 @@
+#include "optim/sgd.h"
+
+namespace dcmt {
+namespace optim {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Tensor& p : params_) {
+      velocity_.emplace_back(static_cast<std::size_t>(p.size()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      float update = g[i] + weight_decay_ * w[i];
+      if (momentum_ != 0.0f) {
+        float& v = velocity_[k][static_cast<std::size_t>(i)];
+        v = momentum_ * v + update;
+        update = v;
+      }
+      w[i] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace dcmt

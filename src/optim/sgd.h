@@ -1,0 +1,33 @@
+#ifndef DCMT_OPTIM_SGD_H_
+#define DCMT_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace dcmt {
+namespace optim {
+
+/// Plain stochastic gradient descent with optional classical momentum and
+/// decoupled L2 weight decay. Used in tests as the reference optimizer.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace optim
+}  // namespace dcmt
+
+#endif  // DCMT_OPTIM_SGD_H_

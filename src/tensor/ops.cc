@@ -1,0 +1,525 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcmt {
+namespace ops {
+namespace {
+
+// Every backward closure below captures the *output* node as a raw
+// Tensor::Impl* — the closure is owned by that node, so the pointer is valid
+// exactly as long as the closure can run. Capturing the output as a Tensor
+// handle would create a shared_ptr cycle and leak the entire upstream graph
+// (see Tensor::SetBackwardFn).
+
+[[noreturn]] void Fatal(const char* msg) {
+  std::fprintf(stderr, "dcmt ops fatal: %s\n", msg);
+  std::abort();
+}
+
+/// How the second operand of a binary op maps onto the first.
+enum class Broadcast { kSame, kRow, kCol, kScalar };
+
+Broadcast BroadcastKind(const Tensor& a, const Tensor& b) {
+  if (b.rows() == a.rows() && b.cols() == a.cols()) return Broadcast::kSame;
+  if (b.rows() == 1 && b.cols() == 1) return Broadcast::kScalar;
+  if (b.rows() == 1 && b.cols() == a.cols()) return Broadcast::kRow;
+  if (b.rows() == a.rows() && b.cols() == 1) return Broadcast::kCol;
+  Fatal("incompatible shapes for broadcast binary op");
+}
+
+/// Index of b's element corresponding to a's element (r, c).
+inline std::size_t BIndex(Broadcast k, int r, int c, int bcols) {
+  switch (k) {
+    case Broadcast::kSame:
+      return static_cast<std::size_t>(r) * bcols + c;
+    case Broadcast::kRow:
+      return static_cast<std::size_t>(c);
+    case Broadcast::kCol:
+      return static_cast<std::size_t>(r);
+    case Broadcast::kScalar:
+      return 0;
+  }
+  return 0;
+}
+
+bool AnyRequiresGrad(const Tensor& a, const Tensor& b) {
+  return a.requires_grad() || b.requires_grad();
+}
+
+/// Builds a binary elementwise node. `fwd(av, bv)` computes the value;
+/// `dfda` / `dfdb` compute local partials given (av, bv, out).
+template <typename Fwd, typename DfDa, typename DfDb>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDa dfda, DfDb dfdb) {
+  const Broadcast kind = BroadcastKind(a, b);
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, n, {a, b}, AnyRequiresGrad(a, b));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r) * n + c;
+      od[i] = fwd(ad[i], bd[BIndex(kind, r, c, b.cols())]);
+    }
+  }
+  if (out.requires_grad()) {
+    Tensor a_cap = a, b_cap = b;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, b_cap, self, kind, m, n, dfda, dfdb]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* od = self->data.data();
+      const float* ad = a_cap.data();
+      const float* bd = b_cap.data();
+      float* ag = a_cap.requires_grad() ? a_cap.impl()->EnsureGrad() : nullptr;
+      float* bg = b_cap.requires_grad() ? b_cap.impl()->EnsureGrad() : nullptr;
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < n; ++c) {
+          const std::size_t i = static_cast<std::size_t>(r) * n + c;
+          const std::size_t j = BIndex(kind, r, c, b_cap.cols());
+          const float g = og[i];
+          if (ag != nullptr) ag[i] += g * dfda(ad[i], bd[j], od[i]);
+          if (bg != nullptr) bg[j] += g * dfdb(ad[i], bd[j], od[i]);
+        }
+      }
+    });
+  }
+  return out;
+}
+
+/// Builds a unary elementwise node; `dfdx(x, y)` is the local derivative.
+template <typename Fwd, typename DfDx>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, DfDx dfdx) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
+  const float* ad = a.data();
+  float* od = out.data();
+  const std::int64_t total = a.size();
+  for (std::int64_t i = 0; i < total; ++i) od[i] = fwd(ad[i]);
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, total, dfdx]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* od = self->data.data();
+      const float* ad = a_cap.data();
+      float* ag = a_cap.impl()->EnsureGrad();
+      for (std::int64_t i = 0; i < total; ++i) ag[i] += og[i] * dfdx(ad[i], od[i]);
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) Fatal("MatMul inner dimensions mismatch");
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::MakeNode(m, n, {a, b}, AnyRequiresGrad(a, b));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  // ikj loop order: streams through b and out rows; good cache behaviour for
+  // the small-to-medium dense shapes this library uses.
+  for (int i = 0; i < m; ++i) {
+    float* orow = od + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = ad[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = bd + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  if (out.requires_grad()) {
+    Tensor a_cap = a, b_cap = b;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, b_cap, self, m, k, n]() mutable {
+      const float* og = self->EnsureGrad();
+      // dL/dA = dL/dOut * B^T  -> [m x k]
+      if (a_cap.requires_grad()) {
+        float* ag = a_cap.impl()->EnsureGrad();
+        const float* bd = b_cap.data();
+        for (int i = 0; i < m; ++i) {
+          const float* grow = og + static_cast<std::size_t>(i) * n;
+          float* arow = ag + static_cast<std::size_t>(i) * k;
+          for (int p = 0; p < k; ++p) {
+            const float* brow = bd + static_cast<std::size_t>(p) * n;
+            float acc = 0.0f;
+            for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            arow[p] += acc;
+          }
+        }
+      }
+      // dL/dB = A^T * dL/dOut  -> [k x n]
+      if (b_cap.requires_grad()) {
+        float* bg = b_cap.impl()->EnsureGrad();
+        const float* ad = a_cap.data();
+        for (int i = 0; i < m; ++i) {
+          const float* grow = og + static_cast<std::size_t>(i) * n;
+          const float* arow = ad + static_cast<std::size_t>(i) * k;
+          for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* brow = bg + static_cast<std::size_t>(p) * n;
+            for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
+          }
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float) { return 1.0f; },
+      [](float, float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float) { return 1.0f; },
+      [](float, float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float) { return y; },
+      [](float x, float, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float) { return 1.0f / y; },
+      [](float x, float y, float) { return -x / (y * y); });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return -x; }, [](float, float) { return -1.0f; });
+}
+
+Tensor OneMinus(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f - x; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Numerically stable in both tails.
+        if (x >= 0.0f) {
+          const float e = std::exp(-x);
+          return 1.0f / (1.0f + e);
+        }
+        const float e = std::exp(x);
+        return e / (1.0f + e);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // log(1+e^x) = max(x,0) + log1p(e^{-|x|}) is stable in both tails.
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) {
+        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+        const float e = std::exp(x);
+        return e / (1.0f + e);
+      });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  if (parts.empty()) Fatal("ConcatCols needs at least one tensor");
+  const int m = parts[0].rows();
+  int total_cols = 0;
+  bool needs_grad = false;
+  for (const Tensor& p : parts) {
+    if (p.rows() != m) Fatal("ConcatCols row count mismatch");
+    total_cols += p.cols();
+    needs_grad = needs_grad || p.requires_grad();
+  }
+  Tensor out = Tensor::MakeNode(m, total_cols, parts, needs_grad);
+  float* od = out.data();
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    const float* pd = p.data();
+    const int pc = p.cols();
+    for (int r = 0; r < m; ++r) {
+      std::copy(pd + static_cast<std::size_t>(r) * pc,
+                pd + static_cast<std::size_t>(r) * pc + pc,
+                od + static_cast<std::size_t>(r) * total_cols + offset);
+    }
+    offset += pc;
+  }
+  if (needs_grad) {
+    std::vector<Tensor> parts_cap = parts;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([parts_cap, self, m, total_cols]() mutable {
+      const float* og = self->EnsureGrad();
+      int offset = 0;
+      for (Tensor& p : parts_cap) {
+        const int pc = p.cols();
+        if (p.requires_grad()) {
+          float* pg = p.impl()->EnsureGrad();
+          for (int r = 0; r < m; ++r) {
+            const float* src = og + static_cast<std::size_t>(r) * total_cols + offset;
+            float* dst = pg + static_cast<std::size_t>(r) * pc;
+            for (int c = 0; c < pc; ++c) dst[c] += src[c];
+          }
+        }
+        offset += pc;
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  if (start < 0 || len <= 0 || start + len > a.cols()) {
+    Fatal("SliceCols out of range");
+  }
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, len, {a}, a.requires_grad());
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int r = 0; r < m; ++r) {
+    std::copy(ad + static_cast<std::size_t>(r) * n + start,
+              ad + static_cast<std::size_t>(r) * n + start + len,
+              od + static_cast<std::size_t>(r) * len);
+  }
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, m, n, start, len]() mutable {
+      const float* og = self->EnsureGrad();
+      float* ag = a_cap.impl()->EnsureGrad();
+      for (int r = 0; r < m; ++r) {
+        const float* src = og + static_cast<std::size_t>(r) * len;
+        float* dst = ag + static_cast<std::size_t>(r) * n + start;
+        for (int c = 0; c < len; ++c) dst[c] += src[c];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  if (ids.empty()) Fatal("EmbeddingLookup with empty ids");
+  const int v = table.rows(), d = table.cols();
+  const int b = static_cast<int>(ids.size());
+  for (int id : ids) {
+    if (id < 0 || id >= v) Fatal("EmbeddingLookup id out of vocabulary range");
+  }
+  Tensor out = Tensor::MakeNode(b, d, {table}, table.requires_grad());
+  const float* td = table.data();
+  float* od = out.data();
+  for (int r = 0; r < b; ++r) {
+    std::copy(td + static_cast<std::size_t>(ids[r]) * d,
+              td + static_cast<std::size_t>(ids[r]) * d + d,
+              od + static_cast<std::size_t>(r) * d);
+  }
+  if (out.requires_grad()) {
+    Tensor table_cap = table;
+    Tensor::Impl* self = out.impl();
+    std::vector<int> ids_cap = ids;
+    out.SetBackwardFn([table_cap, self, ids_cap, b, d]() mutable {
+      const float* og = self->EnsureGrad();
+      float* tg = table_cap.impl()->EnsureGrad();
+      for (int r = 0; r < b; ++r) {
+        const float* src = og + static_cast<std::size_t>(r) * d;
+        float* dst = tg + static_cast<std::size_t>(ids_cap[r]) * d;
+        for (int c = 0; c < d; ++c) dst[c] += src[c];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  Tensor out = Tensor::MakeNode(1, 1, {a}, a.requires_grad());
+  const float* ad = a.data();
+  double acc = 0.0;
+  const std::int64_t total = a.size();
+  for (std::int64_t i = 0; i < total; ++i) acc += ad[i];
+  out.data()[0] = static_cast<float>(acc);
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, total]() mutable {
+      const float g = self->EnsureGrad()[0];
+      float* ag = a_cap.impl()->EnsureGrad();
+      for (std::int64_t i = 0; i < total; ++i) ag[i] += g;
+    });
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  return Scale(Sum(a), 1.0f / static_cast<float>(a.size()));
+}
+
+Tensor SumRows(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, 1, {a}, a.requires_grad());
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int r = 0; r < m; ++r) {
+    float acc = 0.0f;
+    const float* row = ad + static_cast<std::size_t>(r) * n;
+    for (int c = 0; c < n; ++c) acc += row[c];
+    od[r] = acc;
+  }
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, m, n]() mutable {
+      const float* og = self->EnsureGrad();
+      float* ag = a_cap.impl()->EnsureGrad();
+      for (int r = 0; r < m; ++r) {
+        float* row = ag + static_cast<std::size_t>(r) * n;
+        for (int c = 0; c < n; ++c) row[c] += og[r];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int r = 0; r < m; ++r) {
+    const float* row = ad + static_cast<std::size_t>(r) * n;
+    float* orow = od + static_cast<std::size_t>(r) * n;
+    float mx = row[0];
+    for (int c = 1; c < n; ++c) mx = std::max(mx, row[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < n; ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int c = 0; c < n; ++c) orow[c] *= inv;
+  }
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, m, n]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* od = self->data.data();
+      float* ag = a_cap.impl()->EnsureGrad();
+      for (int r = 0; r < m; ++r) {
+        const float* grow = og + static_cast<std::size_t>(r) * n;
+        const float* yrow = od + static_cast<std::size_t>(r) * n;
+        float* arow = ag + static_cast<std::size_t>(r) * n;
+        float dot = 0.0f;
+        for (int c = 0; c < n; ++c) dot += grow[c] * yrow[c];
+        for (int c = 0; c < n; ++c) arow[c] += yrow[c] * (grow[c] - dot);
+      }
+    });
+  }
+  return out;
+}
+
+Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols()) {
+    Fatal("BceLoss shape mismatch");
+  }
+  const int m = pred.rows(), n = pred.cols();
+  Tensor out = Tensor::MakeNode(m, n, {pred, target}, pred.requires_grad());
+  const float* pd = pred.data();
+  const float* yd = target.data();
+  float* od = out.data();
+  const std::int64_t total = pred.size();
+  for (std::int64_t i = 0; i < total; ++i) {
+    const float p = std::clamp(pd[i], eps, 1.0f - eps);
+    od[i] = -yd[i] * std::log(p) - (1.0f - yd[i]) * std::log(1.0f - p);
+  }
+  if (out.requires_grad()) {
+    Tensor pred_cap = pred, target_cap = target;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([pred_cap, target_cap, self, total, eps]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* pd = pred_cap.data();
+      const float* yd = target_cap.data();
+      float* pg = pred_cap.impl()->EnsureGrad();
+      for (std::int64_t i = 0; i < total; ++i) {
+        const float p = std::clamp(pd[i], eps, 1.0f - eps);
+        // d/dp [-y log p - (1-y) log(1-p)] = (p - y) / (p (1-p))
+        pg[i] += og[i] * (p - yd[i]) / (p * (1.0f - p));
+      }
+    });
+  }
+  return out;
+}
+
+Tensor WeightedSum(const Tensor& a, const Tensor& weights) {
+  if (a.rows() != weights.rows() || a.cols() != weights.cols()) {
+    Fatal("WeightedSum shape mismatch");
+  }
+  return Sum(Mul(a, weights));
+}
+
+Tensor SquaredNorm(const Tensor& a) { return Sum(Square(a)); }
+
+}  // namespace ops
+}  // namespace dcmt

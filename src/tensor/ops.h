@@ -1,0 +1,109 @@
+#ifndef DCMT_TENSOR_OPS_H_
+#define DCMT_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace ops {
+
+// Differentiable operator library. Every function builds a node in the
+// autodiff graph; gradients flow to any parent with requires_grad().
+//
+// Binary elementwise ops broadcast the *second* argument against the first:
+// `b` may have the same shape as `a`, be a row vector [1 x a.cols], a column
+// vector [a.rows x 1], or a scalar [1 x 1]. The output always has a's shape.
+
+/// Matrix product: [m x k] * [k x n] -> [m x n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Elementwise a + b (broadcasting b).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b (broadcasting b).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * b (broadcasting b).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Elementwise a / b (broadcasting b). Caller guarantees b is bounded away
+/// from zero; there is no internal epsilon.
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// a * s for a compile-time-constant scalar (no graph node for s).
+Tensor Scale(const Tensor& a, float s);
+
+/// a + s elementwise for a constant scalar.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// -a.
+Tensor Neg(const Tensor& a);
+
+/// 1 - a. The paper's hard counterfactual constraint r* = 1 - r.
+Tensor OneMinus(const Tensor& a);
+
+/// Logistic sigmoid.
+Tensor Sigmoid(const Tensor& a);
+
+/// Rectified linear unit.
+Tensor Relu(const Tensor& a);
+
+/// Hyperbolic tangent.
+Tensor Tanh(const Tensor& a);
+
+/// Natural exponential.
+Tensor Exp(const Tensor& a);
+
+/// Natural log of max(a, eps); gradient is 1/max(a, eps).
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+
+/// Elementwise absolute value; subgradient 0 at exactly 0.
+Tensor Abs(const Tensor& a);
+
+/// Numerically stable softplus log(1 + exp(a)); maps logits to (0, inf).
+/// Used to parameterize non-negative error imputations (ESCM²-DR).
+Tensor Softplus(const Tensor& a);
+
+/// Elementwise square.
+Tensor Square(const Tensor& a);
+
+/// Horizontal concatenation of tensors with equal row counts.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Columns [start, start + len) of `a` as a new tensor.
+Tensor SliceCols(const Tensor& a, int start, int len);
+
+/// Gathers rows of `table` [V x d] by `ids` -> [ids.size() x d]. Backward
+/// scatter-adds into the table gradient (dense buffer, sparse writes).
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+
+/// Sum of all elements -> [1 x 1].
+Tensor Sum(const Tensor& a);
+
+/// Mean of all elements -> [1 x 1].
+Tensor Mean(const Tensor& a);
+
+/// Per-row sum across columns -> [m x 1].
+Tensor SumRows(const Tensor& a);
+
+/// Row-wise softmax -> same shape; rows sum to 1.
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Per-element binary cross-entropy between predictions p in (0,1) and
+/// constant targets y (same shape, not differentiated):
+///   e(y, p) = -y log(p) - (1-y) log(1-p), with p clamped to [eps, 1-eps].
+/// This is the paper's log loss e(r, r̂). Returns a's shape.
+Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps = 1e-7f);
+
+/// sum(a * w) for a constant weight tensor of identical shape -> [1 x 1].
+/// The workhorse for IPW / SNIPS-weighted losses where weights are detached.
+Tensor WeightedSum(const Tensor& a, const Tensor& weights);
+
+/// Sum of squares of all elements -> [1 x 1]. Used for L2 regularization.
+Tensor SquaredNorm(const Tensor& a);
+
+}  // namespace ops
+}  // namespace dcmt
+
+#endif  // DCMT_TENSOR_OPS_H_

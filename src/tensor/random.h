@@ -1,0 +1,62 @@
+#ifndef DCMT_TENSOR_RANDOM_H_
+#define DCMT_TENSOR_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcmt {
+
+/// Deterministic pseudo-random number generator (splitmix64-seeded
+/// xoshiro256**). Every stochastic component in this library takes an explicit
+/// seed and draws from one of these, so identically-seeded runs are
+/// bit-identical across platforms — std::mt19937 distributions are not
+/// guaranteed to be, which is why we roll our own distributions too.
+class Rng {
+ public:
+  /// Creates a generator whose stream is fully determined by `seed`.
+  explicit Rng(std::uint64_t seed);
+
+  /// Returns the next raw 64-bit value of the stream.
+  std::uint64_t NextUint64();
+
+  /// Returns an integer uniform on [0, bound). `bound` must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Returns a float uniform on [0, 1).
+  float Uniform();
+
+  /// Returns a float uniform on [lo, hi).
+  float Uniform(float lo, float hi);
+
+  /// Returns a standard normal draw (Box-Muller, cached spare).
+  float Normal();
+
+  /// Returns a normal draw with the given mean and standard deviation.
+  float Normal(float mean, float stddev);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(float p);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (std::size_t i = values->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; `stream` distinguishes children
+  /// spawned from the same parent state.
+  Rng Split(std::uint64_t stream);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_spare_normal_ = false;
+  float spare_normal_ = 0.0f;
+};
+
+}  // namespace dcmt
+
+#endif  // DCMT_TENSOR_RANDOM_H_

@@ -1,0 +1,229 @@
+#include "tensor/tensor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace dcmt {
+
+#if defined(__GLIBC__)
+namespace {
+// Training allocates and frees hundreds of >128 KiB activation buffers per
+// step. glibc serves those with mmap/munmap by default, so every step pays
+// page-fault + zeroing costs in the kernel (~3x wall-clock on training
+// loops). Keep large blocks on the heap and never trim it back.
+const bool kMallocTuned = [] {
+  mallopt(M_MMAP_MAX, 0);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+  return true;
+}();
+}  // namespace
+#endif
+
+namespace {
+
+[[noreturn]] void Fatal(const char* msg) {
+  std::fprintf(stderr, "dcmt tensor fatal: %s\n", msg);
+  std::abort();
+}
+
+std::shared_ptr<Tensor::Impl> NewImpl(int rows, int cols, bool requires_grad) {
+  if (rows <= 0 || cols <= 0) Fatal("tensor dimensions must be positive");
+  auto impl = std::make_shared<Tensor::Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<std::size_t>(rows) * cols, 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::MakeNode(int rows, int cols, std::vector<Tensor> parents,
+                        bool requires_grad) {
+  auto impl = NewImpl(rows, cols, requires_grad);
+  impl->parents = std::move(parents);
+  return Tensor(std::move(impl));
+}
+
+void Tensor::SetBackwardFn(std::function<void()> fn) {
+  if (!impl_) Fatal("SetBackwardFn on null tensor");
+  impl_->backward_fn = std::move(fn);
+}
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  return Tensor(NewImpl(rows, cols, requires_grad));
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  auto impl = NewImpl(rows, cols, requires_grad);
+  for (auto& v : impl->data) v = value;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(1, 1, value, requires_grad);
+}
+
+Tensor Tensor::Randn(int rows, int cols, float stddev, Rng* rng,
+                     bool requires_grad) {
+  auto impl = NewImpl(rows, cols, requires_grad);
+  for (auto& v : impl->data) v = rng->Normal(0.0f, stddev);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Uniform(int rows, int cols, float lo, float hi, Rng* rng,
+                       bool requires_grad) {
+  auto impl = NewImpl(rows, cols, requires_grad);
+  for (auto& v : impl->data) v = rng->Uniform(lo, hi);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(int rows, int cols, const std::vector<float>& values,
+                        bool requires_grad) {
+  if (values.size() != static_cast<std::size_t>(rows) * cols) {
+    Fatal("FromData size mismatch");
+  }
+  auto impl = NewImpl(rows, cols, requires_grad);
+  impl->data = values;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::ColumnVector(const std::vector<float>& values, bool requires_grad) {
+  if (values.empty()) Fatal("ColumnVector needs at least one value");
+  return FromData(static_cast<int>(values.size()), 1, values, requires_grad);
+}
+
+int Tensor::rows() const { return impl_ ? impl_->rows : 0; }
+int Tensor::cols() const { return impl_ ? impl_->cols : 0; }
+std::int64_t Tensor::size() const {
+  return impl_ ? static_cast<std::int64_t>(impl_->rows) * impl_->cols : 0;
+}
+
+float* Tensor::data() {
+  if (!impl_) Fatal("data() on null tensor");
+  return impl_->data.data();
+}
+const float* Tensor::data() const {
+  if (!impl_) Fatal("data() on null tensor");
+  return impl_->data.data();
+}
+
+float Tensor::at(int r, int c) const {
+  return data()[static_cast<std::size_t>(r) * impl_->cols + c];
+}
+
+void Tensor::set(int r, int c, float v) {
+  data()[static_cast<std::size_t>(r) * impl_->cols + c] = v;
+}
+
+std::vector<float> Tensor::ToVector() const {
+  if (!impl_) Fatal("ToVector() on null tensor");
+  return impl_->data;
+}
+
+float Tensor::item() const {
+  if (!impl_ || impl_->rows != 1 || impl_->cols != 1) {
+    Fatal("item() requires a 1x1 tensor");
+  }
+  return impl_->data[0];
+}
+
+bool Tensor::requires_grad() const { return impl_ && impl_->requires_grad; }
+
+float* Tensor::grad() {
+  if (!impl_) Fatal("grad() on null tensor");
+  if (impl_->grad.empty()) {
+    impl_->grad.assign(impl_->data.size(), 0.0f);
+  }
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad() const {
+  if (!impl_ || impl_->grad.empty()) Fatal("grad() not allocated");
+  return impl_->grad.data();
+}
+
+bool Tensor::has_grad() const { return impl_ && !impl_->grad.empty(); }
+
+void Tensor::ZeroGrad() {
+  if (impl_ && !impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+namespace {
+
+void TopoSort(Tensor::Impl* node, std::unordered_set<const void*>* visited,
+              std::vector<Tensor::Impl*>* order) {
+  // Iterative DFS to avoid stack overflow on deep graphs.
+  struct Frame {
+    Tensor::Impl* impl;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited->insert(node).second) stack.push_back({node, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.impl->parents.size()) {
+      Tensor::Impl* parent = top.impl->parents[top.next_parent].impl();
+      ++top.next_parent;
+      if (parent != nullptr && visited->insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.impl);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  if (!impl_) Fatal("Backward() on null tensor");
+  if (impl_->rows != 1 || impl_->cols != 1) {
+    Fatal("Backward() requires a 1x1 scalar loss");
+  }
+  if (!impl_->requires_grad) Fatal("Backward() on tensor without grad");
+
+  std::unordered_set<const void*> visited;
+  std::vector<Impl*> order;  // post-order: parents before children
+  TopoSort(impl_.get(), &visited, &order);
+
+  // Seed d(loss)/d(loss) = 1.
+  grad()[0] = 1.0f;
+
+  // Children come after parents in `order`, so walk it backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Impl* node = *it;
+    if (node->backward_fn && node->requires_grad) node->backward_fn();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  if (!impl_) return Tensor();
+  auto impl = std::make_shared<Impl>();
+  impl->rows = impl_->rows;
+  impl->cols = impl_->cols;
+  impl->data = impl_->data;  // copy values; no parents, no grad flow
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+const std::string& Tensor::name() const {
+  static const std::string kEmpty;
+  return impl_ ? impl_->name : kEmpty;
+}
+
+void Tensor::set_name(std::string name) {
+  if (impl_) impl_->name = std::move(name);
+}
+
+}  // namespace dcmt

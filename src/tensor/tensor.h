@@ -1,0 +1,160 @@
+#ifndef DCMT_TENSOR_TENSOR_H_
+#define DCMT_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace dcmt {
+
+/// A 2-D float32 matrix participating in a dynamically built reverse-mode
+/// autodiff graph. Tensors are cheap shared handles: copying a Tensor aliases
+/// the underlying storage and graph node.
+///
+/// The engine is deliberately 2-D only — every quantity in this library is a
+/// [batch x features] activation, a [vocab x dim] table, or a [1 x 1] scalar —
+/// which keeps indexing trivial and bugs visible.
+///
+/// Graph construction: ops in ops.h create result tensors that record their
+/// parents and a backward closure. Calling Backward() on a [1 x 1] scalar
+/// seeds its gradient with 1 and runs the closures in reverse topological
+/// order, accumulating into each requires-grad tensor's grad buffer.
+class Tensor {
+ public:
+  /// Null handle; most APIs treat it as "absent".
+  Tensor() = default;
+
+  /// True if this handle points at storage.
+  bool defined() const { return impl_ != nullptr; }
+
+  // --- Factories -----------------------------------------------------------
+
+  /// [rows x cols] tensor of zeros.
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+
+  /// [rows x cols] tensor filled with `value`.
+  static Tensor Full(int rows, int cols, float value, bool requires_grad = false);
+
+  /// [1 x 1] scalar tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// [rows x cols] tensor with i.i.d. N(0, stddev^2) entries drawn from `rng`.
+  static Tensor Randn(int rows, int cols, float stddev, Rng* rng,
+                      bool requires_grad = false);
+
+  /// [rows x cols] tensor with i.i.d. U(lo, hi) entries drawn from `rng`.
+  static Tensor Uniform(int rows, int cols, float lo, float hi, Rng* rng,
+                        bool requires_grad = false);
+
+  /// [rows x cols] tensor copying `values` (row-major, size must match).
+  static Tensor FromData(int rows, int cols, const std::vector<float>& values,
+                         bool requires_grad = false);
+
+  /// Column vector [values.size() x 1] copying `values`.
+  static Tensor ColumnVector(const std::vector<float>& values,
+                             bool requires_grad = false);
+
+  // --- Shape and storage ----------------------------------------------------
+
+  int rows() const;
+  int cols() const;
+  /// Total number of elements (rows * cols).
+  std::int64_t size() const;
+
+  /// Mutable row-major element storage. Mutating data of a non-leaf tensor
+  /// after graph construction invalidates gradients; only do it on leaves.
+  float* data();
+  const float* data() const;
+
+  /// Element accessors (bounds-checked in debug builds only).
+  float at(int r, int c) const;
+  void set(int r, int c, float v);
+
+  /// Copies the storage out as a row-major vector.
+  std::vector<float> ToVector() const;
+
+  /// Value of a [1 x 1] tensor. Aborts if not scalar.
+  float item() const;
+
+  // --- Autograd -------------------------------------------------------------
+
+  bool requires_grad() const;
+
+  /// Gradient buffer, allocated (zeroed) on first access. Only meaningful for
+  /// requires-grad tensors after Backward().
+  float* grad();
+  const float* grad() const;
+  /// True once a gradient buffer has been allocated.
+  bool has_grad() const;
+
+  /// Zeroes the gradient buffer if allocated.
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this [1 x 1] scalar. Aborts if the tensor
+  /// is not scalar or does not require grad.
+  void Backward();
+
+  /// Returns a view-free copy sharing storage but detached from the graph:
+  /// gradients do not flow through the result.
+  Tensor Detach() const;
+
+  /// Deep copy of values only (new leaf, no graph history).
+  Tensor Clone() const;
+
+  /// Identity used for graph bookkeeping and debugging.
+  const void* id() const { return impl_.get(); }
+
+  /// Optional debug name (used by Module parameter registration).
+  const std::string& name() const;
+  void set_name(std::string name);
+
+  // --- Internal (used by ops.cc; not part of the public modeling API) -------
+
+  struct Impl;
+  /// Creates a graph-internal tensor with given parents and backward closure.
+  static Tensor MakeNode(int rows, int cols, std::vector<Tensor> parents,
+                         bool requires_grad);
+  /// Sets the backward closure of a node created by MakeNode.
+  ///
+  /// OWNERSHIP RULE: the closure is stored inside this tensor's Impl, so it
+  /// must capture this tensor only as a raw Impl* (via impl()) — capturing
+  /// the Tensor handle itself would form a shared_ptr cycle and leak the
+  /// whole upstream graph. Parents may be captured as Tensor handles (the
+  /// child already owns them through its parent list).
+  void SetBackwardFn(std::function<void()> fn);
+  Impl* impl() const { return impl_.get(); }
+
+ private:
+  explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Storage + graph node behind a Tensor handle. Public so that ops.cc (and
+/// only it, by convention) can build backward closures against raw pointers.
+struct Tensor::Impl {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated
+  bool requires_grad = false;
+  std::string name;
+
+  // Graph structure. Leaves have no parents and no backward_fn.
+  std::vector<Tensor> parents;
+  std::function<void()> backward_fn;
+
+  /// Gradient buffer, zero-allocated on first use.
+  float* EnsureGrad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+    return grad.data();
+  }
+};
+
+}  // namespace dcmt
+
+#endif  // DCMT_TENSOR_TENSOR_H_

@@ -1,0 +1,140 @@
+// Tests for model checkpointing: round-trips, architecture mismatch
+// rejection, corruption rejection, and inference equivalence after reload.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/dcmt.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "eval/trainer.h"
+#include "nn/mlp.h"
+#include "nn/serialize.h"
+
+namespace dcmt {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, MlpRoundTripBitExact) {
+  Rng rng(1);
+  nn::Mlp original("mlp", 6, {8, 4}, &rng);
+  const std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(original, path));
+
+  Rng rng2(999);  // different init
+  nn::Mlp restored("mlp", 6, {8, 4}, &rng2);
+  ASSERT_TRUE(nn::LoadParameters(&restored, path));
+  ASSERT_EQ(original.parameters().size(), restored.parameters().size());
+  for (std::size_t i = 0; i < original.parameters().size(); ++i) {
+    EXPECT_EQ(original.parameters()[i].ToVector(),
+              restored.parameters()[i].ToVector());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejectedAndUntouched) {
+  Rng rng(2);
+  nn::Mlp original("mlp", 6, {8, 4}, &rng);
+  const std::string path = TempPath("mlp_shape.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(original, path));
+
+  Rng rng2(3);
+  nn::Mlp different("mlp", 6, {16, 4}, &rng2);  // different hidden width
+  const std::vector<float> before = different.parameters()[0].ToVector();
+  EXPECT_FALSE(nn::LoadParameters(&different, path));
+  EXPECT_EQ(different.parameters()[0].ToVector(), before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NameMismatchRejected) {
+  Rng rng(4);
+  nn::Mlp original("alpha", 4, {4}, &rng);
+  const std::string path = TempPath("mlp_name.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(original, path));
+
+  Rng rng2(5);
+  nn::Mlp other("beta", 4, {4}, &rng2);  // same shapes, different names
+  EXPECT_FALSE(nn::LoadParameters(&other, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptMagicRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::ofstream(path) << "this is not a checkpoint";
+  Rng rng(6);
+  nn::Mlp model("mlp", 4, {4}, &rng);
+  EXPECT_FALSE(nn::LoadParameters(&model, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  Rng rng(7);
+  nn::Mlp original("mlp", 6, {8}, &rng);
+  const std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(original, path));
+  // Truncate to half size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_FALSE(nn::LoadParameters(&original, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  Rng rng(8);
+  nn::Mlp model("mlp", 4, {4}, &rng);
+  EXPECT_FALSE(nn::LoadParameters(&model, "/nonexistent/dir/x.ckpt"));
+}
+
+TEST(SerializeTest, TrainedDcmtPredictsIdenticallyAfterReload) {
+  data::DatasetProfile profile;
+  profile.name = "ser";
+  profile.num_users = 60;
+  profile.num_items = 90;
+  profile.train_exposures = 1000;
+  profile.test_exposures = 300;
+  profile.target_click_rate = 0.2;
+  profile.target_cvr_given_click = 0.3;
+  profile.seed = 55;
+  data::SyntheticLogGenerator gen(profile);
+  const data::Dataset train = gen.GenerateTrain();
+  const data::Dataset test = gen.GenerateTest();
+
+  models::ModelConfig config;
+  config.embedding_dim = 4;
+  config.hidden_dims = {8, 4};
+  core::Dcmt model(train.schema(), config);
+  eval::TrainConfig tc;
+  tc.epochs = 1;
+  eval::Train(&model, train, tc);
+
+  const std::string path = TempPath("dcmt.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(model, path));
+
+  models::ModelConfig config2 = config;
+  config2.seed = 1234;  // different init; load must overwrite all of it
+  core::Dcmt restored(train.schema(), config2);
+  ASSERT_TRUE(nn::LoadParameters(&restored, path));
+
+  const eval::PredictionLog a = eval::Predict(&model, test);
+  const eval::PredictionLog b = eval::Predict(&restored, test);
+  ASSERT_EQ(a.cvr.size(), b.cvr.size());
+  for (std::size_t i = 0; i < a.cvr.size(); ++i) {
+    EXPECT_EQ(a.cvr[i], b.cvr[i]);
+    EXPECT_EQ(a.ctr[i], b.ctr[i]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcmt
