@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cf_strategies.dir/bench_ablation_cf_strategies.cc.o"
+  "CMakeFiles/bench_ablation_cf_strategies.dir/bench_ablation_cf_strategies.cc.o.d"
+  "bench_ablation_cf_strategies"
+  "bench_ablation_cf_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cf_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_prediction_dist.dir/bench_fig7_prediction_dist.cc.o"
+  "CMakeFiles/bench_fig7_prediction_dist.dir/bench_fig7_prediction_dist.cc.o.d"
+  "bench_fig7_prediction_dist"
+  "bench_fig7_prediction_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_prediction_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_online_ab.dir/bench_table5_online_ab.cc.o"
+  "CMakeFiles/bench_table5_online_ab.dir/bench_table5_online_ab.cc.o.d"
+  "bench_table5_online_ab"
+  "bench_table5_online_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_online_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_ab_demo.dir/online_ab_demo.cpp.o"
+  "CMakeFiles/online_ab_demo.dir/online_ab_demo.cpp.o.d"
+  "online_ab_demo"
+  "online_ab_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_ab_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

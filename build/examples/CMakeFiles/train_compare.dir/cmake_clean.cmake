@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_compare.dir/train_compare.cpp.o"
+  "CMakeFiles/train_compare.dir/train_compare.cpp.o.d"
+  "train_compare"
+  "train_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

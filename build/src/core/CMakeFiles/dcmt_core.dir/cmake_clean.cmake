@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_core.dir/dcmt.cc.o"
+  "CMakeFiles/dcmt_core.dir/dcmt.cc.o.d"
+  "CMakeFiles/dcmt_core.dir/registry.cc.o"
+  "CMakeFiles/dcmt_core.dir/registry.cc.o.d"
+  "CMakeFiles/dcmt_core.dir/twin_tower.cc.o"
+  "CMakeFiles/dcmt_core.dir/twin_tower.cc.o.d"
+  "libdcmt_core.a"
+  "libdcmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

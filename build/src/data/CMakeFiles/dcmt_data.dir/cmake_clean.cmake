@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_data.dir/batcher.cc.o"
+  "CMakeFiles/dcmt_data.dir/batcher.cc.o.d"
+  "CMakeFiles/dcmt_data.dir/csv.cc.o"
+  "CMakeFiles/dcmt_data.dir/csv.cc.o.d"
+  "CMakeFiles/dcmt_data.dir/dataset.cc.o"
+  "CMakeFiles/dcmt_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dcmt_data.dir/generator.cc.o"
+  "CMakeFiles/dcmt_data.dir/generator.cc.o.d"
+  "CMakeFiles/dcmt_data.dir/profiles.cc.o"
+  "CMakeFiles/dcmt_data.dir/profiles.cc.o.d"
+  "libdcmt_data.a"
+  "libdcmt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

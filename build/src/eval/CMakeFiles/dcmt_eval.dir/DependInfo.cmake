@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cc" "src/eval/CMakeFiles/dcmt_eval.dir/evaluator.cc.o" "gcc" "src/eval/CMakeFiles/dcmt_eval.dir/evaluator.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/dcmt_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/dcmt_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/online_ab.cc" "src/eval/CMakeFiles/dcmt_eval.dir/online_ab.cc.o" "gcc" "src/eval/CMakeFiles/dcmt_eval.dir/online_ab.cc.o.d"
+  "/root/repo/src/eval/oracle_ranker.cc" "src/eval/CMakeFiles/dcmt_eval.dir/oracle_ranker.cc.o" "gcc" "src/eval/CMakeFiles/dcmt_eval.dir/oracle_ranker.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/dcmt_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/dcmt_eval.dir/table.cc.o.d"
+  "/root/repo/src/eval/trainer.cc" "src/eval/CMakeFiles/dcmt_eval.dir/trainer.cc.o" "gcc" "src/eval/CMakeFiles/dcmt_eval.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dcmt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dcmt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/dcmt_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dcmt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcmt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcmt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_eval.dir/evaluator.cc.o"
+  "CMakeFiles/dcmt_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/dcmt_eval.dir/experiment.cc.o"
+  "CMakeFiles/dcmt_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/dcmt_eval.dir/online_ab.cc.o"
+  "CMakeFiles/dcmt_eval.dir/online_ab.cc.o.d"
+  "CMakeFiles/dcmt_eval.dir/oracle_ranker.cc.o"
+  "CMakeFiles/dcmt_eval.dir/oracle_ranker.cc.o.d"
+  "CMakeFiles/dcmt_eval.dir/table.cc.o"
+  "CMakeFiles/dcmt_eval.dir/table.cc.o.d"
+  "CMakeFiles/dcmt_eval.dir/trainer.cc.o"
+  "CMakeFiles/dcmt_eval.dir/trainer.cc.o.d"
+  "libdcmt_eval.a"
+  "libdcmt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_metrics.dir/metrics.cc.o"
+  "CMakeFiles/dcmt_metrics.dir/metrics.cc.o.d"
+  "libdcmt_metrics.a"
+  "libdcmt_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/aitm.cc" "src/models/CMakeFiles/dcmt_models.dir/aitm.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/aitm.cc.o.d"
+  "/root/repo/src/models/common.cc" "src/models/CMakeFiles/dcmt_models.dir/common.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/common.cc.o.d"
+  "/root/repo/src/models/cross_stitch.cc" "src/models/CMakeFiles/dcmt_models.dir/cross_stitch.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/cross_stitch.cc.o.d"
+  "/root/repo/src/models/escm2.cc" "src/models/CMakeFiles/dcmt_models.dir/escm2.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/escm2.cc.o.d"
+  "/root/repo/src/models/esmm.cc" "src/models/CMakeFiles/dcmt_models.dir/esmm.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/esmm.cc.o.d"
+  "/root/repo/src/models/mmoe.cc" "src/models/CMakeFiles/dcmt_models.dir/mmoe.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/mmoe.cc.o.d"
+  "/root/repo/src/models/multi_ipw_dr.cc" "src/models/CMakeFiles/dcmt_models.dir/multi_ipw_dr.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/multi_ipw_dr.cc.o.d"
+  "/root/repo/src/models/naive_cvr.cc" "src/models/CMakeFiles/dcmt_models.dir/naive_cvr.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/naive_cvr.cc.o.d"
+  "/root/repo/src/models/ple.cc" "src/models/CMakeFiles/dcmt_models.dir/ple.cc.o" "gcc" "src/models/CMakeFiles/dcmt_models.dir/ple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dcmt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dcmt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcmt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

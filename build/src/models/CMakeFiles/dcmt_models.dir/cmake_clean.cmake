@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_models.dir/aitm.cc.o"
+  "CMakeFiles/dcmt_models.dir/aitm.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/common.cc.o"
+  "CMakeFiles/dcmt_models.dir/common.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/cross_stitch.cc.o"
+  "CMakeFiles/dcmt_models.dir/cross_stitch.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/escm2.cc.o"
+  "CMakeFiles/dcmt_models.dir/escm2.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/esmm.cc.o"
+  "CMakeFiles/dcmt_models.dir/esmm.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/mmoe.cc.o"
+  "CMakeFiles/dcmt_models.dir/mmoe.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/multi_ipw_dr.cc.o"
+  "CMakeFiles/dcmt_models.dir/multi_ipw_dr.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/naive_cvr.cc.o"
+  "CMakeFiles/dcmt_models.dir/naive_cvr.cc.o.d"
+  "CMakeFiles/dcmt_models.dir/ple.cc.o"
+  "CMakeFiles/dcmt_models.dir/ple.cc.o.d"
+  "libdcmt_models.a"
+  "libdcmt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

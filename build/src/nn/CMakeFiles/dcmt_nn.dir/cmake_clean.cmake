@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_nn.dir/embedding.cc.o"
+  "CMakeFiles/dcmt_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/dcmt_nn.dir/init.cc.o"
+  "CMakeFiles/dcmt_nn.dir/init.cc.o.d"
+  "CMakeFiles/dcmt_nn.dir/linear.cc.o"
+  "CMakeFiles/dcmt_nn.dir/linear.cc.o.d"
+  "CMakeFiles/dcmt_nn.dir/mlp.cc.o"
+  "CMakeFiles/dcmt_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/dcmt_nn.dir/module.cc.o"
+  "CMakeFiles/dcmt_nn.dir/module.cc.o.d"
+  "CMakeFiles/dcmt_nn.dir/serialize.cc.o"
+  "CMakeFiles/dcmt_nn.dir/serialize.cc.o.d"
+  "libdcmt_nn.a"
+  "libdcmt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

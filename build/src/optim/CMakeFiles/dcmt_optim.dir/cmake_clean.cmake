@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_optim.dir/adam.cc.o"
+  "CMakeFiles/dcmt_optim.dir/adam.cc.o.d"
+  "CMakeFiles/dcmt_optim.dir/optimizer.cc.o"
+  "CMakeFiles/dcmt_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/dcmt_optim.dir/sgd.cc.o"
+  "CMakeFiles/dcmt_optim.dir/sgd.cc.o.d"
+  "libdcmt_optim.a"
+  "libdcmt_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

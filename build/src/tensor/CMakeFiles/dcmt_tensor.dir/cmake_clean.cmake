@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/dcmt_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/dcmt_tensor.dir/ops.cc.o"
+  "CMakeFiles/dcmt_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/dcmt_tensor.dir/random.cc.o"
+  "CMakeFiles/dcmt_tensor.dir/random.cc.o.d"
+  "CMakeFiles/dcmt_tensor.dir/tensor.cc.o"
+  "CMakeFiles/dcmt_tensor.dir/tensor.cc.o.d"
+  "libdcmt_tensor.a"
+  "libdcmt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_test.dir/dcmt_test.cc.o"
+  "CMakeFiles/dcmt_test.dir/dcmt_test.cc.o.d"
+  "dcmt_test"
+  "dcmt_test.pdb"
+  "dcmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcmt_cli.dir/dcmt_cli.cc.o"
+  "CMakeFiles/dcmt_cli.dir/dcmt_cli.cc.o.d"
+  "dcmt_cli"
+  "dcmt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcmt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
