@@ -1,0 +1,115 @@
+// Thread-scaling benchmarks of the parallel runtime: matmul forward,
+// matmul forward+backward, and the full DCMT train step, each at 1/2/4/N
+// threads (N = hardware_concurrency when > 4). Real (wall-clock) time is
+// the measured quantity — that is what kernel parallelism buys.
+//
+// tools/run_tier1.sh pipes this binary's JSON output through
+// tools/bench_to_json to produce the machine-readable BENCH_engine.json at
+// the repo root; future PRs extend that trajectory rather than replace it.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/dcmt.h"
+#include "core/thread_pool.h"
+#include "data/batcher.h"
+#include "data/profiles.h"
+#include "eval/experiment.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace dcmt;
+
+/// 1, 2, 4 and (if larger) every hardware thread.
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  for (int t : {1, 2, 4}) b->Arg(t);
+  if (hw > 4) b->Arg(hw);
+}
+
+void BM_MatMulForward(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::ThreadPool::Global().SetNumThreads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(512, 128, 1.0f, &rng);
+  Tensor b = Tensor::Randn(128, 128, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = ops::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512LL * 128 * 128);
+  core::ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_MatMulForward)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_MatMulForwardBackward(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::ThreadPool::Global().SetNumThreads(threads);
+  Rng rng(2);
+  Tensor x = Tensor::Randn(512, 128, 1.0f, &rng);
+  Tensor w = Tensor::Randn(128, 128, 0.1f, &rng, /*requires_grad=*/true);
+  for (auto _ : state) {
+    w.ZeroGrad();
+    Tensor loss = ops::Mean(ops::Square(ops::MatMul(x, w)));
+    loss.Backward();
+    benchmark::DoNotOptimize(w.grad());
+  }
+  core::ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_MatMulForwardBackward)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_DcmtTrainStep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::ThreadPool::Global().SetNumThreads(threads);
+  data::DatasetProfile profile = data::AeEsProfile();
+  profile.train_exposures = 4096;
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+
+  models::ModelConfig config;
+  core::Dcmt model(train.schema(), config);
+  optim::Adam adam(model.parameters(), 1e-3f);
+  const data::Batch batch = data::MakeContiguousBatch(train, 0, 1024);
+
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    models::Predictions preds = model.Forward(batch);
+    Tensor loss = model.Loss(batch, preds);
+    loss.Backward();
+    adam.Step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  core::ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_DcmtTrainStep)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_ExperimentRepeats(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  core::ThreadPool::Global().SetNumThreads(threads);
+  data::DatasetProfile profile = data::AeEsProfile();
+  profile.train_exposures = 4096;
+  profile.test_exposures = 2048;
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+  const data::Dataset test = generator.GenerateTest();
+  models::ModelConfig mc;
+  eval::TrainConfig tc;
+  tc.epochs = 1;
+  for (auto _ : state) {
+    const eval::ExperimentResult r = eval::RunOfflineExperiment(
+        "dcmt", train, test, mc, tc, /*repeats=*/4);
+    benchmark::DoNotOptimize(r.cvr_auc);
+  }
+  core::ThreadPool::Global().SetNumThreads(1);
+}
+BENCHMARK(BM_ExperimentRepeats)->Apply(ThreadArgs)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

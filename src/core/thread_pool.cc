@@ -1,0 +1,185 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcmt {
+namespace core {
+namespace {
+
+[[noreturn]] void Fatal(const char* msg) {
+  std::fprintf(stderr, "dcmt thread_pool fatal: %s\n", msg);
+  std::abort();
+}
+
+// Set on every thread that is currently executing a shard (workers for their
+// whole lifetime, the calling thread only while it runs shard 0).
+thread_local bool tls_in_parallel_region = false;
+
+std::atomic<std::int64_t> g_grain_cap{0};
+
+}  // namespace
+
+/// Shared worker state. Jobs are serialized: RunShards blocks until every
+/// shard of the current generation has finished before the next job can be
+/// posted, so a single (job, shards, pending) triple suffices.
+struct ThreadPool::State {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  const std::function<void(int)>* job = nullptr;  // valid while pending > 0
+  int job_shards = 0;
+  std::uint64_t generation = 0;
+  int pending = 0;
+  bool stop = false;
+
+  void WorkerLoop(int index) {
+    tls_in_parallel_region = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* my_job = nullptr;
+      int shards = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        my_job = job;
+        shards = job_shards;
+      }
+      // Worker `index` owns shard index + 1 (the caller runs shard 0). A
+      // lagging worker that missed a generation it did not participate in
+      // can observe job == nullptr here; it just resynchronizes.
+      if (my_job != nullptr && index + 1 < shards) {
+        (*my_job)(index + 1);
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : state_(new State) { Start(DefaultNumThreads()); }
+
+ThreadPool::~ThreadPool() {
+  Stop();
+  delete state_;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+void ThreadPool::Start(int n) {
+  num_threads_ = std::max(1, n);
+  state_->stop = false;
+  state_->workers.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    state_->workers.emplace_back([this, i] { state_->WorkerLoop(i); });
+  }
+}
+
+void ThreadPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : state_->workers) t.join();
+  state_->workers.clear();
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  if (tls_in_parallel_region) Fatal("SetNumThreads inside a parallel region");
+  if (n <= 0) n = DefaultNumThreads();
+  if (n == num_threads_) return;
+  Stop();
+  Start(n);
+}
+
+void ThreadPool::RunShards(int shards, const std::function<void(int)>& fn) {
+  if (shards > num_threads_) Fatal("RunShards wants more shards than threads");
+  if (shards <= 1 || tls_in_parallel_region) {
+    // Serial / nested fallback: run every shard in order on this thread.
+    for (int s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->job = &fn;
+    state_->job_shards = shards;
+    state_->pending = shards - 1;
+    ++state_->generation;
+  }
+  state_->work_cv.notify_all();
+  tls_in_parallel_region = true;
+  fn(0);
+  tls_in_parallel_region = false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done_cv.wait(lock, [&] { return state_->pending == 0; });
+  state_->job = nullptr;
+}
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("DCMT_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int ParallelChunks(std::int64_t range, std::int64_t grain) {
+  if (range <= 0) return 0;
+  if (ThreadPool::InParallelRegion()) return 1;
+  const int threads = ThreadPool::Global().num_threads();
+  if (threads <= 1) return 1;
+  if (grain < 1) grain = 1;
+  const std::int64_t cap = g_grain_cap.load(std::memory_order_relaxed);
+  if (cap > 0) grain = std::min(grain, cap);
+  const std::int64_t max_chunks = (range + grain - 1) / grain;
+  return static_cast<int>(std::min<std::int64_t>(threads, max_chunks));
+}
+
+void ParallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  const int chunks = ParallelChunks(range, grain);
+  if (chunks <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  const std::int64_t base = range / chunks;
+  const std::int64_t rem = range % chunks;
+  ThreadPool::Global().RunShards(chunks, [&](int c) {
+    const std::int64_t lo =
+        begin + c * base + std::min<std::int64_t>(c, rem);
+    const std::int64_t hi = lo + base + (c < rem ? 1 : 0);
+    fn(c, lo, hi);
+  });
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&fn](int, std::int64_t lo, std::int64_t hi) { fn(lo, hi); });
+}
+
+void SetGrainCapForTesting(std::int64_t max_grain) {
+  g_grain_cap.store(max_grain, std::memory_order_relaxed);
+}
+
+}  // namespace core
+}  // namespace dcmt

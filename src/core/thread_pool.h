@@ -1,0 +1,98 @@
+#ifndef DCMT_CORE_THREAD_POOL_H_
+#define DCMT_CORE_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace dcmt {
+namespace core {
+
+// Parallel compute runtime shared by the tensor kernels and the experiment
+// harness.
+//
+// Determinism contract (see DESIGN.md "Parallel runtime"):
+//   * Work is split with *static* partitioning: the chunk layout is a pure
+//     function of (range, grain, configured thread count), never of runtime
+//     load. A run with a fixed thread count is therefore bit-reproducible.
+//   * With 1 thread every ParallelFor degrades to the plain serial loop, so
+//     single-threaded results are bit-identical to the original scalar
+//     engine.
+//   * Nested parallelism is flattened: a ParallelFor issued from inside a
+//     pool worker (e.g. a tensor kernel running under a concurrent
+//     experiment repeat) executes inline on that worker.
+
+/// Persistent worker pool. Lazy global singleton; the pool owns
+/// `num_threads() - 1` OS threads because the calling thread always executes
+/// shard 0 itself.
+class ThreadPool {
+ public:
+  /// The process-wide pool. First use spins up workers sized by
+  /// `DCMT_THREADS` (if set) or std::thread::hardware_concurrency().
+  static ThreadPool& Global();
+
+  /// Configured parallel width (including the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Resizes the pool to `n` threads (n <= 0 restores the environment /
+  /// hardware default). Must not be called while a RunShards is in flight.
+  void SetNumThreads(int n);
+
+  /// Runs fn(shard) for every shard in [0, shards); the calling thread
+  /// executes shard 0, pool workers execute the rest. Blocks until all
+  /// shards finish. `shards` must not exceed num_threads(). Calls from
+  /// inside a parallel region (and shards <= 1) run all shards inline.
+  void RunShards(int shards, const std::function<void(int)>& fn);
+
+  /// True on a pool worker thread or while the calling thread is executing
+  /// its own shard — i.e. when further ParallelFor calls must stay inline.
+  static bool InParallelRegion();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  struct State;
+  void Start(int n);
+  void Stop();
+
+  State* state_ = nullptr;  // owned; hides <thread>/<mutex> from this header
+  int num_threads_ = 1;
+};
+
+/// Thread count implied by the environment: `DCMT_THREADS` when set to a
+/// positive integer, otherwise hardware_concurrency (at least 1).
+int DefaultNumThreads();
+
+/// Number of chunks a ParallelFor over `range` items with minimum chunk size
+/// `grain` would use right now. Pure in (range, grain, pool width, region
+/// state), so callers can pre-size per-chunk partial buffers.
+int ParallelChunks(std::int64_t range, std::int64_t grain);
+
+/// Statically partitions [begin, end) into ParallelChunks() contiguous
+/// chunks of near-equal size (each at least `grain` items unless the range
+/// itself is smaller) and runs fn(chunk_begin, chunk_end) on the pool. With
+/// one chunk, fn runs inline on the calling thread — the serial fast path.
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// ParallelFor variant passing the chunk index as well:
+/// fn(chunk, chunk_begin, chunk_end). Chunk indices are dense in
+/// [0, ParallelChunks(range, grain)), which is what deterministic
+/// tree-reductions key their partial buffers on.
+void ParallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+/// Testing hook: caps the effective grain of every ParallelFor at
+/// `max_grain` so that tiny tensors still exercise the multi-chunk code
+/// paths (0 disables the cap — the default). Not for production use: the
+/// cap is part of the partition function, so changing it changes chunk
+/// layouts (and hence reduction orders) like changing the thread count does.
+void SetGrainCapForTesting(std::int64_t max_grain);
+
+}  // namespace core
+}  // namespace dcmt
+
+#endif  // DCMT_CORE_THREAD_POOL_H_

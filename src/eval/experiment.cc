@@ -1,6 +1,9 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
+
 #include "core/registry.h"
+#include "core/thread_pool.h"
 #include "metrics/metrics.h"
 
 namespace dcmt {
@@ -16,19 +19,40 @@ ExperimentResult RunOfflineExperiment(const std::string& model_name,
   result.model = model_name;
   result.dataset = train.name();
 
-  std::vector<double> cvr_aucs, ctcvr_aucs, ctr_aucs, oracle_aucs, mean_preds;
-  for (int run = 0; run < repeats; ++run) {
+  // Repeats are embarrassingly parallel: each run owns its model, RNGs and
+  // dataset copies, so they fan out over the thread pool. Kernel-level
+  // ParallelFor degrades to inline execution inside repeat workers (the
+  // pool's nested-parallelism guard), which keeps each run's arithmetic
+  // identical to a serial run — results do not depend on the worker count.
+  std::vector<EvalResult> evals(static_cast<std::size_t>(repeats));
+  std::vector<TrainHistory> histories(static_cast<std::size_t>(repeats));
+  auto run_one = [&](int run) {
     models::ModelConfig mc = model_config;
     mc.seed = model_config.seed + static_cast<std::uint64_t>(run) * 1000003ULL;
     TrainConfig tc = train_config;
     tc.seed = train_config.seed + static_cast<std::uint64_t>(run) * 999983ULL;
 
     auto model = core::CreateModel(model_name, train.schema(), mc);
-    const TrainHistory history = Train(model.get(), train, tc);
-    const EvalResult eval = Evaluate(model.get(), test);
+    histories[static_cast<std::size_t>(run)] = Train(model.get(), train, tc);
+    evals[static_cast<std::size_t>(run)] = Evaluate(model.get(), test);
+  };
 
+  const int workers =
+      std::min(repeats, core::ThreadPool::Global().num_threads());
+  if (workers > 1) {
+    core::ThreadPool::Global().RunShards(workers, [&](int shard) {
+      for (int run = shard; run < repeats; run += workers) run_one(run);
+    });
+  } else {
+    for (int run = 0; run < repeats; ++run) run_one(run);
+  }
+
+  // Aggregate in run order so summaries are independent of scheduling.
+  std::vector<double> cvr_aucs, ctcvr_aucs, ctr_aucs, oracle_aucs, mean_preds;
+  for (int run = 0; run < repeats; ++run) {
+    const EvalResult& eval = evals[static_cast<std::size_t>(run)];
     result.runs.push_back(eval);
-    result.train_seconds += history.seconds;
+    result.train_seconds += histories[static_cast<std::size_t>(run)].seconds;
     cvr_aucs.push_back(eval.cvr_auc_clicked);
     ctcvr_aucs.push_back(eval.ctcvr_auc);
     ctr_aucs.push_back(eval.ctr_auc);

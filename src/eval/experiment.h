@@ -32,6 +32,9 @@ struct ExperimentResult {
 /// derived from `config.seed` + run index) and evaluates on the test split.
 /// The same generated datasets are reused across repeats (only model init
 /// and shuffling vary), matching the paper's repeated-runs protocol.
+/// Repeats run concurrently over the core::ThreadPool (each run owns its
+/// model and RNG state); per-run results and their aggregation are
+/// independent of how many workers the pool has.
 ExperimentResult RunOfflineExperiment(const std::string& model_name,
                                       const data::DatasetProfile& profile,
                                       const models::ModelConfig& model_config,

@@ -56,6 +56,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
   optim::Adam adam(model->parameters(), config.learning_rate, 0.9f, 0.999f,
                    1e-8f, config.weight_decay);
 
+  double eval_seconds = 0.0;
   double best_val_auc = -1.0;
   int best_epoch = -1;
   int epochs_since_best = 0;
@@ -85,7 +86,11 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     }
 
     if (has_validation && !val_split.empty()) {
+      const auto eval_start = std::chrono::steady_clock::now();
       const EvalResult val = Evaluate(model, val_split);
+      eval_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - eval_start)
+                          .count();
       history.validation_cvr_auc.push_back(val.cvr_auc_clicked);
       if (config.verbose) {
         std::fprintf(stderr, "[train %s] epoch %d/%d loss %.5f val cvr auc %.4f\n",
@@ -99,8 +104,13 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
           best_snapshot = SnapshotParameters(*model);
           epochs_since_best = 0;
         } else if (++epochs_since_best >= config.early_stopping_patience) {
-          RestoreParameters(model, best_snapshot);
-          history.final_epoch = best_epoch;
+          // best_snapshot can be empty if no epoch ever improved on the
+          // initial best (e.g. a NaN validation AUC on epoch 0); keep the
+          // current parameters rather than restoring from nothing.
+          if (!best_snapshot.empty()) {
+            RestoreParameters(model, best_snapshot);
+            history.final_epoch = best_epoch;
+          }
           break;
         }
       }
@@ -118,9 +128,12 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     history.final_epoch = best_epoch;
   }
 
+  // Report pure training time: validation Evaluate passes are bookkeeping,
+  // and counting them would misstate train throughput.
   history.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+          .count() -
+      eval_seconds;
   return history;
 }
 

@@ -46,6 +46,8 @@ struct TrainHistory {
   /// stopping restored an earlier one). 0-based; -1 if no epochs ran.
   int final_epoch = -1;
   std::int64_t steps = 0;
+  /// Training wall-clock, excluding time spent in validation Evaluate passes
+  /// (so the number reflects train throughput honestly).
   double seconds = 0.0;
 };
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/thread_pool.h"
+
 namespace dcmt {
 namespace ops {
 namespace {
@@ -14,6 +16,29 @@ namespace {
 // exactly as long as the closure can run. Capturing the output as a Tensor
 // handle would create a shared_ptr cycle and leak the entire upstream graph
 // (see Tensor::SetBackwardFn).
+//
+// Threading: kernels partition work with core::ParallelFor. Partitions are
+// static and write disjoint output ranges; wherever a gradient element
+// accumulates contributions from several input elements, the partition is
+// chosen so that each accumulator sees its contributions in the same order
+// as the original serial loop (see DESIGN.md "Parallel runtime"). With one
+// thread every kernel degrades to the exact serial loop of the scalar
+// engine.
+
+using core::ParallelFor;
+using core::ParallelForChunks;
+
+/// Minimum elementwise operations per chunk before a kernel fans out; keeps
+/// pool wake-up costs invisible on the small tensors that dominate tests.
+constexpr std::int64_t kElementwiseGrain = 8192;
+/// Minimum multiply-adds per chunk for matmul-shaped kernels.
+constexpr std::int64_t kMatMulGrain = 16384;
+
+/// Row grain so each chunk holds at least `work` scalar ops at `per_row`
+/// ops per row.
+inline std::int64_t RowGrain(std::int64_t work, std::int64_t per_row) {
+  return std::max<std::int64_t>(1, work / std::max<std::int64_t>(1, per_row));
+}
 
 [[noreturn]] void Fatal(const char* msg) {
   std::fprintf(stderr, "dcmt ops fatal: %s\n", msg);
@@ -60,12 +85,16 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDa dfda, DfDb dfdb)
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
-  for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < n; ++c) {
-      const std::size_t i = static_cast<std::size_t>(r) * n + c;
-      od[i] = fwd(ad[i], bd[BIndex(kind, r, c, b.cols())]);
-    }
-  }
+  const int bcols = b.cols();
+  ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  for (int c = 0; c < n; ++c) {
+                    const std::size_t i = static_cast<std::size_t>(r) * n + c;
+                    od[i] = fwd(ad[i], bd[BIndex(kind, static_cast<int>(r), c, bcols)]);
+                  }
+                }
+              });
   if (out.requires_grad()) {
     Tensor a_cap = a, b_cap = b;
     Tensor::Impl* self = out.impl();
@@ -76,13 +105,39 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDa dfda, DfDb dfdb)
       const float* bd = b_cap.data();
       float* ag = a_cap.requires_grad() ? a_cap.impl()->EnsureGrad() : nullptr;
       float* bg = b_cap.requires_grad() ? b_cap.impl()->EnsureGrad() : nullptr;
-      for (int r = 0; r < m; ++r) {
-        for (int c = 0; c < n; ++c) {
-          const std::size_t i = static_cast<std::size_t>(r) * n + c;
-          const std::size_t j = BIndex(kind, r, c, b_cap.cols());
-          const float g = og[i];
-          if (ag != nullptr) ag[i] += g * dfda(ad[i], bd[j], od[i]);
-          if (bg != nullptr) bg[j] += g * dfdb(ad[i], bd[j], od[i]);
+      const int bcols = b_cap.cols();
+      auto element = [&](int r, int c) {
+        const std::size_t i = static_cast<std::size_t>(r) * n + c;
+        const std::size_t j = BIndex(kind, r, c, bcols);
+        const float g = og[i];
+        if (ag != nullptr) ag[i] += g * dfda(ad[i], bd[j], od[i]);
+        if (bg != nullptr) bg[j] += g * dfdb(ad[i], bd[j], od[i]);
+      };
+      if (bg == nullptr || kind == Broadcast::kSame || kind == Broadcast::kCol) {
+        // b's gradient (if any) is per-element or per-row local: partition
+        // rows; each accumulator stays within one chunk, in serial order.
+        ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
+                    [&](std::int64_t r0, std::int64_t r1) {
+                      for (std::int64_t r = r0; r < r1; ++r) {
+                        for (int c = 0; c < n; ++c) element(static_cast<int>(r), c);
+                      }
+                    });
+      } else if (kind == Broadcast::kRow) {
+        // bg[c] sums over rows: partition *columns* so each bg element is
+        // owned by one chunk and accumulates in ascending-row (serial) order.
+        ParallelFor(0, n, RowGrain(kElementwiseGrain, m),
+                    [&](std::int64_t c0, std::int64_t c1) {
+                      for (int r = 0; r < m; ++r) {
+                        for (std::int64_t c = c0; c < c1; ++c) {
+                          element(r, static_cast<int>(c));
+                        }
+                      }
+                    });
+      } else {
+        // Scalar broadcast with a differentiable b: bg[0] accumulates every
+        // element, so keep the exact serial order.
+        for (int r = 0; r < m; ++r) {
+          for (int c = 0; c < n; ++c) element(r, c);
         }
       }
     });
@@ -98,7 +153,9 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, DfDx dfdx) {
   const float* ad = a.data();
   float* od = out.data();
   const std::int64_t total = a.size();
-  for (std::int64_t i = 0; i < total; ++i) od[i] = fwd(ad[i]);
+  ParallelFor(0, total, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) od[i] = fwd(ad[i]);
+  });
   if (out.requires_grad()) {
     Tensor a_cap = a;
     Tensor::Impl* self = out.impl();
@@ -107,7 +164,12 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, DfDx dfdx) {
       const float* od = self->data.data();
       const float* ad = a_cap.data();
       float* ag = a_cap.impl()->EnsureGrad();
-      for (std::int64_t i = 0; i < total; ++i) ag[i] += og[i] * dfdx(ad[i], od[i]);
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                      ag[i] += og[i] * dfdx(ad[i], od[i]);
+                    }
+                  });
     });
   }
   return out;
@@ -122,51 +184,67 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
-  // ikj loop order: streams through b and out rows; good cache behaviour for
-  // the small-to-medium dense shapes this library uses.
-  for (int i = 0; i < m; ++i) {
-    float* orow = od + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = ad[static_cast<std::size_t>(i) * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = bd + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Row-parallel ikj loop order: each chunk owns a slab of output rows and
+  // streams through b's rows; good cache behaviour for the small-to-medium
+  // dense shapes this library uses.
+  ParallelFor(0, m, RowGrain(kMatMulGrain, static_cast<std::int64_t>(k) * n),
+              [&](std::int64_t i0, std::int64_t i1) {
+                for (std::int64_t i = i0; i < i1; ++i) {
+                  float* orow = od + static_cast<std::size_t>(i) * n;
+                  for (int p = 0; p < k; ++p) {
+                    const float av = ad[static_cast<std::size_t>(i) * k + p];
+                    if (av == 0.0f) continue;
+                    const float* brow = bd + static_cast<std::size_t>(p) * n;
+                    for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+                  }
+                }
+              });
   if (out.requires_grad()) {
     Tensor a_cap = a, b_cap = b;
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([a_cap, b_cap, self, m, k, n]() mutable {
       const float* og = self->EnsureGrad();
-      // dL/dA = dL/dOut * B^T  -> [m x k]
+      // dL/dA = dL/dOut * B^T  -> [m x k]. B's rows are contiguous, so the
+      // inner dot products already run over packed (transposed-B) memory;
+      // parallel chunks own disjoint slabs of A's gradient rows.
       if (a_cap.requires_grad()) {
         float* ag = a_cap.impl()->EnsureGrad();
         const float* bd = b_cap.data();
-        for (int i = 0; i < m; ++i) {
-          const float* grow = og + static_cast<std::size_t>(i) * n;
-          float* arow = ag + static_cast<std::size_t>(i) * k;
-          for (int p = 0; p < k; ++p) {
-            const float* brow = bd + static_cast<std::size_t>(p) * n;
-            float acc = 0.0f;
-            for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            arow[p] += acc;
-          }
-        }
+        ParallelFor(
+            0, m, RowGrain(kMatMulGrain, static_cast<std::int64_t>(k) * n),
+            [&](std::int64_t i0, std::int64_t i1) {
+              for (std::int64_t i = i0; i < i1; ++i) {
+                const float* grow = og + static_cast<std::size_t>(i) * n;
+                float* arow = ag + static_cast<std::size_t>(i) * k;
+                for (int p = 0; p < k; ++p) {
+                  const float* brow = bd + static_cast<std::size_t>(p) * n;
+                  float acc = 0.0f;
+                  for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                  arow[p] += acc;
+                }
+              }
+            });
       }
-      // dL/dB = A^T * dL/dOut  -> [k x n]
+      // dL/dB = A^T * dL/dOut  -> [k x n]. Parallelized over B's gradient
+      // rows (the k dimension): each chunk owns bg rows [p0, p1) and scans
+      // all m samples, so every bg element accumulates its contributions in
+      // ascending-i order — the same order as the serial i-outer loop.
       if (b_cap.requires_grad()) {
         float* bg = b_cap.impl()->EnsureGrad();
         const float* ad = a_cap.data();
-        for (int i = 0; i < m; ++i) {
-          const float* grow = og + static_cast<std::size_t>(i) * n;
-          const float* arow = ad + static_cast<std::size_t>(i) * k;
-          for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            float* brow = bg + static_cast<std::size_t>(p) * n;
-            for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
-          }
-        }
+        ParallelFor(
+            0, k, RowGrain(kMatMulGrain, static_cast<std::int64_t>(m) * n),
+            [&](std::int64_t p0, std::int64_t p1) {
+              for (std::int64_t p = p0; p < p1; ++p) {
+                float* brow = bg + static_cast<std::size_t>(p) * n;
+                for (int i = 0; i < m; ++i) {
+                  const float av = ad[static_cast<std::size_t>(i) * k + p];
+                  if (av == 0.0f) continue;
+                  const float* grow = og + static_cast<std::size_t>(i) * n;
+                  for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
+                }
+              }
+            });
       }
     });
   }
@@ -298,17 +376,20 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
   }
   Tensor out = Tensor::MakeNode(m, total_cols, parts, needs_grad);
   float* od = out.data();
-  int offset = 0;
-  for (const Tensor& p : parts) {
-    const float* pd = p.data();
-    const int pc = p.cols();
-    for (int r = 0; r < m; ++r) {
-      std::copy(pd + static_cast<std::size_t>(r) * pc,
-                pd + static_cast<std::size_t>(r) * pc + pc,
-                od + static_cast<std::size_t>(r) * total_cols + offset);
-    }
-    offset += pc;
-  }
+  ParallelFor(0, m, RowGrain(kElementwiseGrain, total_cols),
+              [&](std::int64_t r0, std::int64_t r1) {
+                int offset = 0;
+                for (const Tensor& p : parts) {
+                  const float* pd = p.data();
+                  const int pc = p.cols();
+                  for (std::int64_t r = r0; r < r1; ++r) {
+                    std::copy(pd + static_cast<std::size_t>(r) * pc,
+                              pd + static_cast<std::size_t>(r) * pc + pc,
+                              od + static_cast<std::size_t>(r) * total_cols + offset);
+                  }
+                  offset += pc;
+                }
+              });
   if (needs_grad) {
     std::vector<Tensor> parts_cap = parts;
     Tensor::Impl* self = out.impl();
@@ -319,11 +400,17 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
         const int pc = p.cols();
         if (p.requires_grad()) {
           float* pg = p.impl()->EnsureGrad();
-          for (int r = 0; r < m; ++r) {
-            const float* src = og + static_cast<std::size_t>(r) * total_cols + offset;
-            float* dst = pg + static_cast<std::size_t>(r) * pc;
-            for (int c = 0; c < pc; ++c) dst[c] += src[c];
-          }
+          const int part_offset = offset;
+          ParallelFor(0, m, RowGrain(kElementwiseGrain, pc),
+                      [&](std::int64_t r0, std::int64_t r1) {
+                        for (std::int64_t r = r0; r < r1; ++r) {
+                          const float* src = og +
+                                             static_cast<std::size_t>(r) * total_cols +
+                                             part_offset;
+                          float* dst = pg + static_cast<std::size_t>(r) * pc;
+                          for (int c = 0; c < pc; ++c) dst[c] += src[c];
+                        }
+                      });
         }
         offset += pc;
       }
@@ -340,22 +427,28 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
   Tensor out = Tensor::MakeNode(m, len, {a}, a.requires_grad());
   const float* ad = a.data();
   float* od = out.data();
-  for (int r = 0; r < m; ++r) {
-    std::copy(ad + static_cast<std::size_t>(r) * n + start,
-              ad + static_cast<std::size_t>(r) * n + start + len,
-              od + static_cast<std::size_t>(r) * len);
-  }
+  ParallelFor(0, m, RowGrain(kElementwiseGrain, len),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  std::copy(ad + static_cast<std::size_t>(r) * n + start,
+                            ad + static_cast<std::size_t>(r) * n + start + len,
+                            od + static_cast<std::size_t>(r) * len);
+                }
+              });
   if (out.requires_grad()) {
     Tensor a_cap = a;
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([a_cap, self, m, n, start, len]() mutable {
       const float* og = self->EnsureGrad();
       float* ag = a_cap.impl()->EnsureGrad();
-      for (int r = 0; r < m; ++r) {
-        const float* src = og + static_cast<std::size_t>(r) * len;
-        float* dst = ag + static_cast<std::size_t>(r) * n + start;
-        for (int c = 0; c < len; ++c) dst[c] += src[c];
-      }
+      ParallelFor(0, m, RowGrain(kElementwiseGrain, len),
+                  [&](std::int64_t r0, std::int64_t r1) {
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                      const float* src = og + static_cast<std::size_t>(r) * len;
+                      float* dst = ag + static_cast<std::size_t>(r) * n + start;
+                      for (int c = 0; c < len; ++c) dst[c] += src[c];
+                    }
+                  });
     });
   }
   return out;
@@ -371,11 +464,14 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
   Tensor out = Tensor::MakeNode(b, d, {table}, table.requires_grad());
   const float* td = table.data();
   float* od = out.data();
-  for (int r = 0; r < b; ++r) {
-    std::copy(td + static_cast<std::size_t>(ids[r]) * d,
-              td + static_cast<std::size_t>(ids[r]) * d + d,
-              od + static_cast<std::size_t>(r) * d);
-  }
+  ParallelFor(0, b, RowGrain(kElementwiseGrain, d),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  std::copy(td + static_cast<std::size_t>(ids[r]) * d,
+                            td + static_cast<std::size_t>(ids[r]) * d + d,
+                            od + static_cast<std::size_t>(r) * d);
+                }
+              });
   if (out.requires_grad()) {
     Tensor table_cap = table;
     Tensor::Impl* self = out.impl();
@@ -383,11 +479,27 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
     out.SetBackwardFn([table_cap, self, ids_cap, b, d]() mutable {
       const float* og = self->EnsureGrad();
       float* tg = table_cap.impl()->EnsureGrad();
-      for (int r = 0; r < b; ++r) {
-        const float* src = og + static_cast<std::size_t>(r) * d;
-        float* dst = tg + static_cast<std::size_t>(ids_cap[r]) * d;
-        for (int c = 0; c < d; ++c) dst[c] += src[c];
-      }
+      const int v = table_cap.rows();
+      // Vocab-range sharding avoids scatter races without per-thread
+      // buffers: each chunk owns table rows [v0, v1) and scans the whole
+      // batch for ids in its range. Every table row thus accumulates its
+      // duplicate-id contributions in ascending batch order — identical to
+      // the serial scatter bit for bit, at any chunk count. The grain prices
+      // chunks by the *useful* scatter work (b * d), not the vocab range, so
+      // small batches stay serial.
+      const std::int64_t scatter_work = static_cast<std::int64_t>(b) * d;
+      const std::int64_t grain_rows = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(v) * kElementwiseGrain /
+                 std::max<std::int64_t>(1, scatter_work));
+      ParallelFor(0, v, grain_rows, [&](std::int64_t v0, std::int64_t v1) {
+        for (int r = 0; r < b; ++r) {
+          const int id = ids_cap[static_cast<std::size_t>(r)];
+          if (id < v0 || id >= v1) continue;
+          const float* src = og + static_cast<std::size_t>(r) * d;
+          float* dst = tg + static_cast<std::size_t>(id) * d;
+          for (int c = 0; c < d; ++c) dst[c] += src[c];
+        }
+      });
     });
   }
   return out;
@@ -396,9 +508,19 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
 Tensor Sum(const Tensor& a) {
   Tensor out = Tensor::MakeNode(1, 1, {a}, a.requires_grad());
   const float* ad = a.data();
-  double acc = 0.0;
   const std::int64_t total = a.size();
-  for (std::int64_t i = 0; i < total; ++i) acc += ad[i];
+  // Deterministic tree reduction: fixed chunk layout, one double partial per
+  // chunk, merged in chunk order. A single chunk is exactly the serial sum.
+  const int chunks = std::max(1, core::ParallelChunks(total, kElementwiseGrain));
+  std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+  ParallelForChunks(0, total, kElementwiseGrain,
+                    [&](int c, std::int64_t i0, std::int64_t i1) {
+                      double acc = 0.0;
+                      for (std::int64_t i = i0; i < i1; ++i) acc += ad[i];
+                      partial[static_cast<std::size_t>(c)] = acc;
+                    });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
   out.data()[0] = static_cast<float>(acc);
   if (out.requires_grad()) {
     Tensor a_cap = a;
@@ -406,7 +528,10 @@ Tensor Sum(const Tensor& a) {
     out.SetBackwardFn([a_cap, self, total]() mutable {
       const float g = self->EnsureGrad()[0];
       float* ag = a_cap.impl()->EnsureGrad();
-      for (std::int64_t i = 0; i < total; ++i) ag[i] += g;
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) ag[i] += g;
+                  });
     });
   }
   return out;
@@ -421,22 +546,28 @@ Tensor SumRows(const Tensor& a) {
   Tensor out = Tensor::MakeNode(m, 1, {a}, a.requires_grad());
   const float* ad = a.data();
   float* od = out.data();
-  for (int r = 0; r < m; ++r) {
-    float acc = 0.0f;
-    const float* row = ad + static_cast<std::size_t>(r) * n;
-    for (int c = 0; c < n; ++c) acc += row[c];
-    od[r] = acc;
-  }
+  ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  float acc = 0.0f;
+                  const float* row = ad + static_cast<std::size_t>(r) * n;
+                  for (int c = 0; c < n; ++c) acc += row[c];
+                  od[r] = acc;
+                }
+              });
   if (out.requires_grad()) {
     Tensor a_cap = a;
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([a_cap, self, m, n]() mutable {
       const float* og = self->EnsureGrad();
       float* ag = a_cap.impl()->EnsureGrad();
-      for (int r = 0; r < m; ++r) {
-        float* row = ag + static_cast<std::size_t>(r) * n;
-        for (int c = 0; c < n; ++c) row[c] += og[r];
-      }
+      ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
+                  [&](std::int64_t r0, std::int64_t r1) {
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                      float* row = ag + static_cast<std::size_t>(r) * n;
+                      for (int c = 0; c < n; ++c) row[c] += og[r];
+                    }
+                  });
     });
   }
   return out;
@@ -447,19 +578,22 @@ Tensor SoftmaxRows(const Tensor& a) {
   Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
   const float* ad = a.data();
   float* od = out.data();
-  for (int r = 0; r < m; ++r) {
-    const float* row = ad + static_cast<std::size_t>(r) * n;
-    float* orow = od + static_cast<std::size_t>(r) * n;
-    float mx = row[0];
-    for (int c = 1; c < n; ++c) mx = std::max(mx, row[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < n; ++c) {
-      orow[c] = std::exp(row[c] - mx);
-      denom += orow[c];
-    }
-    const float inv = 1.0f / denom;
-    for (int c = 0; c < n; ++c) orow[c] *= inv;
-  }
+  ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  const float* row = ad + static_cast<std::size_t>(r) * n;
+                  float* orow = od + static_cast<std::size_t>(r) * n;
+                  float mx = row[0];
+                  for (int c = 1; c < n; ++c) mx = std::max(mx, row[c]);
+                  float denom = 0.0f;
+                  for (int c = 0; c < n; ++c) {
+                    orow[c] = std::exp(row[c] - mx);
+                    denom += orow[c];
+                  }
+                  const float inv = 1.0f / denom;
+                  for (int c = 0; c < n; ++c) orow[c] *= inv;
+                }
+              });
   if (out.requires_grad()) {
     Tensor a_cap = a;
     Tensor::Impl* self = out.impl();
@@ -467,14 +601,17 @@ Tensor SoftmaxRows(const Tensor& a) {
       const float* og = self->EnsureGrad();
       const float* od = self->data.data();
       float* ag = a_cap.impl()->EnsureGrad();
-      for (int r = 0; r < m; ++r) {
-        const float* grow = og + static_cast<std::size_t>(r) * n;
-        const float* yrow = od + static_cast<std::size_t>(r) * n;
-        float* arow = ag + static_cast<std::size_t>(r) * n;
-        float dot = 0.0f;
-        for (int c = 0; c < n; ++c) dot += grow[c] * yrow[c];
-        for (int c = 0; c < n; ++c) arow[c] += yrow[c] * (grow[c] - dot);
-      }
+      ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
+                  [&](std::int64_t r0, std::int64_t r1) {
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                      const float* grow = og + static_cast<std::size_t>(r) * n;
+                      const float* yrow = od + static_cast<std::size_t>(r) * n;
+                      float* arow = ag + static_cast<std::size_t>(r) * n;
+                      float dot = 0.0f;
+                      for (int c = 0; c < n; ++c) dot += grow[c] * yrow[c];
+                      for (int c = 0; c < n; ++c) arow[c] += yrow[c] * (grow[c] - dot);
+                    }
+                  });
     });
   }
   return out;
@@ -484,16 +621,19 @@ Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
   if (pred.rows() != target.rows() || pred.cols() != target.cols()) {
     Fatal("BceLoss shape mismatch");
   }
+  if (eps <= 0.0f) Fatal("BceLoss eps must be positive");
   const int m = pred.rows(), n = pred.cols();
-  Tensor out = Tensor::MakeNode(m, n, {pred, target}, pred.requires_grad());
+  Tensor out = Tensor::MakeNode(m, n, {pred, target}, AnyRequiresGrad(pred, target));
   const float* pd = pred.data();
   const float* yd = target.data();
   float* od = out.data();
   const std::int64_t total = pred.size();
-  for (std::int64_t i = 0; i < total; ++i) {
-    const float p = std::clamp(pd[i], eps, 1.0f - eps);
-    od[i] = -yd[i] * std::log(p) - (1.0f - yd[i]) * std::log(1.0f - p);
-  }
+  ParallelFor(0, total, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float p = std::clamp(pd[i], eps, 1.0f - eps);
+      od[i] = -yd[i] * std::log(p) - (1.0f - yd[i]) * std::log(1.0f - p);
+    }
+  });
   if (out.requires_grad()) {
     Tensor pred_cap = pred, target_cap = target;
     Tensor::Impl* self = out.impl();
@@ -501,12 +641,22 @@ Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
       const float* og = self->EnsureGrad();
       const float* pd = pred_cap.data();
       const float* yd = target_cap.data();
-      float* pg = pred_cap.impl()->EnsureGrad();
-      for (std::int64_t i = 0; i < total; ++i) {
-        const float p = std::clamp(pd[i], eps, 1.0f - eps);
-        // d/dp [-y log p - (1-y) log(1-p)] = (p - y) / (p (1-p))
-        pg[i] += og[i] * (p - yd[i]) / (p * (1.0f - p));
-      }
+      float* pg = pred_cap.requires_grad() ? pred_cap.impl()->EnsureGrad() : nullptr;
+      float* tg = target_cap.requires_grad() ? target_cap.impl()->EnsureGrad() : nullptr;
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                      const float p = std::clamp(pd[i], eps, 1.0f - eps);
+                      // d/dp [-y log p - (1-y) log(1-p)] = (p - y) / (p (1-p))
+                      if (pg != nullptr) {
+                        pg[i] += og[i] * (p - yd[i]) / (p * (1.0f - p));
+                      }
+                      // d/dy [-y log p - (1-y) log(1-p)] = log((1-p)/p)
+                      if (tg != nullptr) {
+                        tg[i] += og[i] * (std::log(1.0f - p) - std::log(p));
+                      }
+                    }
+                  });
     });
   }
   return out;

@@ -91,9 +91,12 @@ Tensor SumRows(const Tensor& a);
 Tensor SoftmaxRows(const Tensor& a);
 
 /// Per-element binary cross-entropy between predictions p in (0,1) and
-/// constant targets y (same shape, not differentiated):
+/// targets y (same shape):
 ///   e(y, p) = -y log(p) - (1-y) log(1-p), with p clamped to [eps, 1-eps].
-/// This is the paper's log loss e(r, r̂). Returns a's shape.
+/// This is the paper's log loss e(r, r̂). Returns pred's shape. Like every
+/// other binary op, gradients flow to *either* parent that requires grad
+/// (dL/dy = log((1-p)/p) when the target is differentiable — e.g. soft
+/// labels produced by another head). eps must be positive (fatal otherwise).
 Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps = 1e-7f);
 
 /// sum(a * w) for a constant weight tensor of identical shape -> [1 x 1].

@@ -1,0 +1,389 @@
+// Determinism and correctness suite for the parallel runtime
+// (core::ThreadPool + threaded tensor kernels + concurrent experiment
+// repeats). The contract under test (DESIGN.md "Parallel runtime"):
+//
+//   1. With 1 thread every kernel executes the exact serial loops of the
+//      original scalar engine (verified against hand-rolled references).
+//   2. A fixed thread count is bit-reproducible (self-reproducibility).
+//   3. Disjoint-write kernels (elementwise, matmul, softmax, embedding) are
+//      bit-identical at *any* thread count; only chunked reductions (Sum)
+//      may differ across thread counts, and then only in summation order.
+//
+// SetGrainCapForTesting(1) forces multi-chunk partitions on the small
+// tensors used here, so the threaded code paths genuinely execute.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+#include "data/profiles.h"
+#include "eval/experiment.h"
+#include "eval/trainer.h"
+#include "core/dcmt.h"
+#include "data/batcher.h"
+#include "optim/adam.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace dcmt {
+namespace {
+
+using core::ParallelChunks;
+using core::ParallelFor;
+using core::SetGrainCapForTesting;
+using core::ThreadPool;
+
+/// RAII: configure (threads, grain cap) for a test, restore serial after.
+class ScopedParallelConfig {
+ public:
+  ScopedParallelConfig(int threads, std::int64_t grain_cap) {
+    ThreadPool::Global().SetNumThreads(threads);
+    SetGrainCapForTesting(grain_cap);
+  }
+  ~ScopedParallelConfig() {
+    SetGrainCapForTesting(0);
+    ThreadPool::Global().SetNumThreads(1);
+  }
+};
+
+TEST(ThreadPool, DefaultNumThreadsHonorsEnv) {
+  setenv("DCMT_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(core::DefaultNumThreads(), 3);
+  setenv("DCMT_THREADS", "not-a-number", 1);
+  EXPECT_GE(core::DefaultNumThreads(), 1);  // falls back to hardware
+  unsetenv("DCMT_THREADS");
+  EXPECT_GE(core::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ScopedParallelConfig config(/*threads=*/4, /*grain_cap=*/1);
+  constexpr int kRange = 1000;
+  std::vector<std::atomic<int>> hits(kRange);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, kRange, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int i = 0; i < kRange; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ChunkLayoutIsDeterministic) {
+  ScopedParallelConfig config(4, 1);
+  EXPECT_EQ(ParallelChunks(1000, 64), 4);
+  EXPECT_EQ(ParallelChunks(1000, 64), 4);  // pure function, stable
+  EXPECT_EQ(ParallelChunks(2, 1), 2);
+  EXPECT_EQ(ParallelChunks(0, 1), 0);
+  ThreadPool::Global().SetNumThreads(1);
+  EXPECT_EQ(ParallelChunks(1000, 1), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ScopedParallelConfig config(4, 1);
+  ParallelFor(0, 4, 1, [&](std::int64_t, std::int64_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // A nested call must collapse to one inline chunk, not deadlock.
+    EXPECT_EQ(ParallelChunks(1000, 1), 1);
+    int calls = 0;
+    ParallelFor(0, 100, 1, [&](std::int64_t lo, std::int64_t hi) {
+      ++calls;
+      EXPECT_EQ(lo, 0);
+      EXPECT_EQ(hi, 100);
+    });
+    EXPECT_EQ(calls, 1);
+  });
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+// --- 1-thread path == the seed engine's serial loops ----------------------
+
+TEST(ParallelKernels, SingleThreadMatMulMatchesSerialReference) {
+  ThreadPool::Global().SetNumThreads(1);
+  const int m = 7, k = 5, n = 6;
+  Rng rng(11);
+  Tensor a = Tensor::Randn(m, k, 1.0f, &rng);
+  Tensor b = Tensor::Randn(k, n, 1.0f, &rng);
+  Tensor out = ops::MatMul(a, b);
+  // The seed's exact ikj accumulation, re-rolled by hand.
+  std::vector<float> expect(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a.data()[i * k + p];
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) expect[i * n + j] += av * b.data()[p * n + j];
+    }
+  }
+  for (int i = 0; i < m * n; ++i) EXPECT_EQ(out.data()[i], expect[i]);
+}
+
+TEST(ParallelKernels, SingleThreadSumMatchesSerialReference) {
+  ThreadPool::Global().SetNumThreads(1);
+  Rng rng(12);
+  Tensor a = Tensor::Randn(31, 17, 1.0f, &rng);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  EXPECT_EQ(ops::Sum(a).item(), static_cast<float>(acc));
+}
+
+// --- disjoint-write kernels: bit-identical across thread counts -----------
+
+/// Runs fn at 1 thread and at 4 threads (grain cap 1) and asserts the
+/// returned float vectors are bit-identical.
+void ExpectThreadCountInvariant(
+    const std::function<std::vector<float>()>& fn) {
+  ThreadPool::Global().SetNumThreads(1);
+  const std::vector<float> serial = fn();
+  std::vector<float> threaded;
+  {
+    ScopedParallelConfig config(4, 1);
+    threaded = fn();
+  }
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "element " << i;
+  }
+}
+
+TEST(ParallelKernels, MatMulForwardAndBackwardThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    Rng rng(21);
+    Tensor a = Tensor::Randn(13, 9, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn(9, 11, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor loss = ops::Sum(ops::Square(ops::MatMul(a, b)));
+    loss.Backward();
+    std::vector<float> all;
+    const Tensor out = ops::MatMul(a, b);
+    all.insert(all.end(), out.data(), out.data() + out.size());
+    all.insert(all.end(), a.grad(), a.grad() + a.size());
+    all.insert(all.end(), b.grad(), b.grad() + b.size());
+    return all;
+  });
+}
+
+TEST(ParallelKernels, ElementwiseThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    Rng rng(22);
+    Tensor a = Tensor::Randn(17, 7, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn(17, 7, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor row = Tensor::Randn(1, 7, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor col = Tensor::Randn(17, 1, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor y = ops::Mul(ops::Add(ops::Tanh(a), b), ops::Sigmoid(a));
+    y = ops::Add(y, row);  // row broadcast: column-parallel backward
+    y = ops::Mul(y, col);  // col broadcast: row-parallel backward
+    Tensor loss = ops::Sum(y);
+    loss.Backward();
+    std::vector<float> all(y.data(), y.data() + y.size());
+    all.insert(all.end(), a.grad(), a.grad() + a.size());
+    all.insert(all.end(), b.grad(), b.grad() + b.size());
+    all.insert(all.end(), row.grad(), row.grad() + row.size());
+    all.insert(all.end(), col.grad(), col.grad() + col.size());
+    return all;
+  });
+}
+
+TEST(ParallelKernels, SoftmaxRowsThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    Rng rng(23);
+    Tensor a = Tensor::Randn(19, 8, 2.0f, &rng, /*requires_grad=*/true);
+    Tensor y = ops::SoftmaxRows(a);
+    Tensor loss = ops::Sum(ops::Mul(y, y));
+    loss.Backward();
+    std::vector<float> all(y.data(), y.data() + y.size());
+    all.insert(all.end(), a.grad(), a.grad() + a.size());
+    return all;
+  });
+}
+
+TEST(ParallelKernels, EmbeddingScatterWithDuplicateIdsThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    Rng rng(24);
+    Tensor table = Tensor::Randn(11, 5, 1.0f, &rng, /*requires_grad=*/true);
+    // Heavy duplication: the scatter-merge order is what is under test.
+    const std::vector<int> ids = {3, 3, 3, 0, 10, 3, 7, 0, 10, 10, 3, 5};
+    Tensor loss = ops::Sum(ops::Square(ops::EmbeddingLookup(table, ids)));
+    loss.Backward();
+    return std::vector<float>(table.grad(), table.grad() + table.size());
+  });
+}
+
+TEST(ParallelKernels, BceLossThreadCountInvariant) {
+  ExpectThreadCountInvariant([] {
+    Rng rng(25);
+    Tensor logits = Tensor::Randn(37, 3, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor labels = Tensor::Zeros(37, 3);
+    for (int i = 0; i < 37 * 3; i += 2) labels.data()[i] = 1.0f;
+    Tensor loss = ops::Sum(ops::BceLoss(ops::Sigmoid(logits), labels));
+    loss.Backward();
+    return std::vector<float>(logits.grad(), logits.grad() + logits.size());
+  });
+}
+
+// --- chunked reductions: self-reproducible at a fixed thread count --------
+
+TEST(ParallelKernels, SumSelfReproducibleAtFourThreads) {
+  ScopedParallelConfig config(4, 1);
+  Rng rng(26);
+  Tensor a = Tensor::Randn(41, 13, 1.0f, &rng);
+  const float first = ops::Sum(a).item();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ops::Sum(a).item(), first);
+  // And the chunked order stays numerically honest vs the serial sum.
+  ThreadPool::Global().SetNumThreads(1);
+  EXPECT_NEAR(ops::Sum(a).item(), first, 1e-4f * std::fabs(first) + 1e-5f);
+}
+
+// --- gradcheck through the threaded kernel paths --------------------------
+
+TEST(ParallelGradCheck, MatMul) {
+  ScopedParallelConfig config(4, 1);
+  Rng rng(31);
+  Tensor a = Tensor::Randn(6, 4, 0.5f, &rng, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn(4, 5, 0.5f, &rng, /*requires_grad=*/true);
+  auto loss = [&]() { return ops::Sum(ops::Square(ops::MatMul(a, b))); };
+  const GradCheckResult r = CheckGradients(loss, {a, b});
+  EXPECT_TRUE(r.ok) << r.worst;
+}
+
+TEST(ParallelGradCheck, SoftmaxRows) {
+  ScopedParallelConfig config(4, 1);
+  Rng rng(32);
+  Tensor a = Tensor::Randn(5, 6, 1.0f, &rng, /*requires_grad=*/true);
+  auto loss = [&]() {
+    Tensor y = ops::SoftmaxRows(a);
+    return ops::Sum(ops::Mul(y, y));
+  };
+  const GradCheckResult r = CheckGradients(loss, {a});
+  EXPECT_TRUE(r.ok) << r.worst;
+}
+
+TEST(ParallelGradCheck, EmbeddingLookupWithDuplicateIds) {
+  ScopedParallelConfig config(4, 1);
+  Rng rng(33);
+  Tensor table = Tensor::Randn(7, 3, 0.5f, &rng, /*requires_grad=*/true);
+  const std::vector<int> ids = {1, 4, 1, 6, 1, 0, 4};
+  auto loss = [&]() {
+    return ops::Sum(ops::Square(ops::EmbeddingLookup(table, ids)));
+  };
+  const GradCheckResult r = CheckGradients(loss, {table});
+  EXPECT_TRUE(r.ok) << r.worst;
+}
+
+TEST(ParallelGradCheck, BceLossDifferentiableTarget) {
+  ScopedParallelConfig config(4, 1);
+  Rng rng(34);
+  // Both pred and target require grad — the satellite fix under test.
+  Tensor plogit = Tensor::Randn(6, 2, 0.5f, &rng, /*requires_grad=*/true);
+  Tensor tlogit = Tensor::Randn(6, 2, 0.5f, &rng, /*requires_grad=*/true);
+  auto loss = [&]() {
+    return ops::Sum(
+        ops::BceLoss(ops::Sigmoid(plogit), ops::Sigmoid(tlogit), 1e-4f));
+  };
+  const GradCheckResult r = CheckGradients(loss, {plogit, tlogit});
+  EXPECT_TRUE(r.ok) << r.worst;
+}
+
+TEST(BceLossContract, TargetOnlyGradFlows) {
+  ThreadPool::Global().SetNumThreads(1);
+  Tensor pred = Tensor::FromData(2, 1, {0.3f, 0.8f});  // no grad
+  Tensor target = Tensor::FromData(2, 1, {0.4f, 0.6f}, /*requires_grad=*/true);
+  Tensor loss = ops::Sum(ops::BceLoss(pred, target));
+  ASSERT_TRUE(loss.requires_grad());
+  loss.Backward();
+  // dL/dy = log((1-p)/p).
+  EXPECT_NEAR(target.grad()[0], std::log(0.7f / 0.3f), 1e-5f);
+  EXPECT_NEAR(target.grad()[1], std::log(0.2f / 0.8f), 1e-5f);
+  EXPECT_FALSE(pred.has_grad());
+}
+
+TEST(BceLossContractDeathTest, NonPositiveEpsIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor pred = Tensor::FromData(1, 1, {0.5f}, /*requires_grad=*/true);
+  Tensor target = Tensor::FromData(1, 1, {1.0f});
+  EXPECT_DEATH(ops::BceLoss(pred, target, 0.0f), "eps must be positive");
+}
+
+// --- full DCMT training: reproducibility across and within thread counts --
+
+std::vector<float> TrainTinyDcmtAndDumpParams() {
+  data::DatasetProfile profile = data::AeEsProfile();
+  profile.train_exposures = 1500;
+  profile.test_exposures = 500;
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+  models::ModelConfig mc;
+  core::Dcmt model(train.schema(), mc);
+  eval::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 256;
+  eval::Train(&model, train, tc);
+  std::vector<float> params;
+  for (const Tensor& p : model.parameters()) {
+    params.insert(params.end(), p.data(), p.data() + p.size());
+  }
+  return params;
+}
+
+TEST(ParallelTraining, FourThreadTrainEpochSelfReproducible) {
+  std::vector<float> first, second;
+  {
+    ScopedParallelConfig config(4, 0);  // production grains, real pool
+    first = TrainTinyDcmtAndDumpParams();
+    second = TrainTinyDcmtAndDumpParams();
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i], second[i]) << "param element " << i;
+  }
+}
+
+TEST(ParallelTraining, SingleThreadTrainEpochSelfReproducible) {
+  ThreadPool::Global().SetNumThreads(1);
+  const std::vector<float> first = TrainTinyDcmtAndDumpParams();
+  const std::vector<float> second = TrainTinyDcmtAndDumpParams();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i], second[i]) << "param element " << i;
+  }
+}
+
+// --- concurrent experiment repeats ----------------------------------------
+
+TEST(ParallelExperiment, ConcurrentRepeatsMatchSerialRepeats) {
+  data::DatasetProfile profile = data::AeEsProfile();
+  profile.train_exposures = 1200;
+  profile.test_exposures = 600;
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+  const data::Dataset test = generator.GenerateTest();
+  models::ModelConfig mc;
+  eval::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 256;
+
+  ThreadPool::Global().SetNumThreads(1);
+  const eval::ExperimentResult serial =
+      eval::RunOfflineExperiment("dcmt", train, test, mc, tc, /*repeats=*/3);
+  eval::ExperimentResult threaded;
+  {
+    ScopedParallelConfig config(4, 0);
+    threaded =
+        eval::RunOfflineExperiment("dcmt", train, test, mc, tc, /*repeats=*/3);
+  }
+  // Repeat workers run kernels inline (nested guard), so per-run arithmetic
+  // is identical to the serial path — results must agree exactly.
+  ASSERT_EQ(serial.runs.size(), threaded.runs.size());
+  EXPECT_EQ(serial.cvr_auc, threaded.cvr_auc);
+  EXPECT_EQ(serial.ctcvr_auc, threaded.ctcvr_auc);
+  EXPECT_EQ(serial.ctr_auc, threaded.ctr_auc);
+  EXPECT_EQ(serial.cvr_auc_oracle, threaded.cvr_auc_oracle);
+  EXPECT_EQ(serial.mean_cvr_pred, threaded.mean_cvr_pred);
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].cvr_auc_clicked, threaded.runs[i].cvr_auc_clicked);
+  }
+}
+
+}  // namespace
+}  // namespace dcmt

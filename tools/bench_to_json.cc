@@ -1,0 +1,185 @@
+// bench_to_json — condenses google-benchmark JSON output into the repo's
+// machine-readable perf trajectory file (BENCH_engine.json).
+//
+//   bench_parallel_scaling --benchmark_out=raw.json --benchmark_out_format=json
+//   bench_to_json raw.json BENCH_engine.json
+//
+// The output records ns/op per (benchmark, thread count) plus per-family
+// speedups relative to the 1-thread run, so future PRs can diff engine
+// performance without re-parsing google-benchmark's verbose format.
+//
+// The parser is deliberately minimal: it understands exactly the regular
+// subset of JSON that google-benchmark emits (one "name"/"real_time"/
+// "time_unit" triple per benchmark object) and fails loudly on anything
+// else, rather than pulling in a JSON dependency.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct BenchEntry {
+  std::string family;  // e.g. "BM_DcmtTrainStep"
+  int threads = 1;     // trailing /N argument (1 if absent)
+  double ns_per_op = 0.0;
+};
+
+/// Extracts the quoted string value following `"key":` at or after `pos`
+/// within the same object; returns empty if absent before `limit`.
+std::string FindStringValue(const std::string& text, std::size_t pos,
+                            std::size_t limit, const char* key) {
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t k = text.find(needle, pos);
+  if (k == std::string::npos || k >= limit) return "";
+  std::size_t q1 = text.find('"', text.find(':', k + needle.size()));
+  if (q1 == std::string::npos) return "";
+  std::size_t q2 = text.find('"', q1 + 1);
+  if (q2 == std::string::npos) return "";
+  return text.substr(q1 + 1, q2 - q1 - 1);
+}
+
+double FindNumberValue(const std::string& text, std::size_t pos,
+                       std::size_t limit, const char* key, bool* found) {
+  *found = false;
+  const std::string needle = std::string("\"") + key + "\"";
+  const std::size_t k = text.find(needle, pos);
+  if (k == std::string::npos || k >= limit) return 0.0;
+  const std::size_t colon = text.find(':', k + needle.size());
+  if (colon == std::string::npos) return 0.0;
+  *found = true;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+double ToNanoseconds(double value, const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  std::fprintf(stderr, "bench_to_json: unknown time_unit '%s'\n", unit.c_str());
+  std::exit(1);
+}
+
+/// Splits "BM_Foo/4/real_time" into family "BM_Foo" and threads 4. Numeric
+/// path segments are treated as the thread argument (the scaling benches
+/// have exactly one); "real_time"/"process_time" suffixes are dropped.
+void ParseName(const std::string& name, BenchEntry* entry) {
+  std::stringstream ss(name);
+  std::string segment;
+  bool first = true;
+  while (std::getline(ss, segment, '/')) {
+    if (first) {
+      entry->family = segment;
+      first = false;
+    } else if (!segment.empty() &&
+               segment.find_first_not_of("0123456789") == std::string::npos) {
+      entry->threads = std::atoi(segment.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: bench_to_json <google-benchmark.json> <out.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "bench_to_json: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // Only objects inside the "benchmarks" array carry a "name"; context
+  // objects do not, so scanning for "name" keys visits exactly the entries.
+  std::vector<BenchEntry> entries;
+  std::size_t pos = text.find("\"benchmarks\"");
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "bench_to_json: no \"benchmarks\" array in %s\n", argv[1]);
+    return 1;
+  }
+  while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
+    const std::size_t object_end = text.find('}', pos);
+    const std::size_t limit =
+        object_end == std::string::npos ? text.size() : object_end;
+    BenchEntry entry;
+    ParseName(FindStringValue(text, pos, limit, "name"), &entry);
+    bool found = false;
+    const double real_time = FindNumberValue(text, pos, limit, "real_time", &found);
+    const std::string unit = FindStringValue(text, pos, limit, "time_unit");
+    if (found && !entry.family.empty()) {
+      entry.ns_per_op = ToNanoseconds(real_time, unit);
+      // google-benchmark repeats aggregate rows (mean/median/stddev) reuse
+      // the name with a suffix; keep only plain measurement rows.
+      if (FindStringValue(text, pos, limit, "run_type") != "aggregate") {
+        entries.push_back(entry);
+      }
+    }
+    pos = limit;
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "bench_to_json: no benchmark entries parsed\n");
+    return 1;
+  }
+
+  // family -> threads -> ns/op (last measurement wins).
+  std::map<std::string, std::map<int, double>> families;
+  for (const BenchEntry& e : entries) families[e.family][e.threads] = e.ns_per_op;
+
+  std::ofstream out(argv[2]);
+  if (!out) {
+    std::fprintf(stderr, "bench_to_json: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  out << "{\n";
+  out << "  \"generated_by\": \"bench_parallel_scaling + tools/bench_to_json\",\n";
+  out << "  \"hardware_threads\": " << hw << ",\n";
+  out << "  \"benchmarks\": {\n";
+  bool first_family = true;
+  for (const auto& [family, by_threads] : families) {
+    if (!first_family) out << ",\n";
+    first_family = false;
+    out << "    \"" << family << "\": {\n";
+    out << "      \"ns_per_op\": {";
+    bool first = true;
+    for (const auto& [threads, ns] : by_threads) {
+      if (!first) out << ", ";
+      first = false;
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.1f", ns);
+      out << "\"" << threads << "\": " << num;
+    }
+    out << "}";
+    const auto t1 = by_threads.find(1);
+    if (t1 != by_threads.end() && by_threads.size() > 1) {
+      out << ",\n      \"speedup_vs_1thread\": {";
+      first = true;
+      for (const auto& [threads, ns] : by_threads) {
+        if (threads == 1 || ns <= 0.0) continue;
+        if (!first) out << ", ";
+        first = false;
+        char num[64];
+        std::snprintf(num, sizeof(num), "%.2f", t1->second / ns);
+        out << "\"" << threads << "\": " << num;
+      }
+      out << "}";
+    }
+    out << "\n    }";
+  }
+  out << "\n  }\n}\n";
+  std::printf("bench_to_json: wrote %zu entries (%zu families) to %s\n",
+              entries.size(), families.size(), argv[2]);
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/registry.h"
+#include "core/thread_pool.h"
 #include "data/csv.h"
 #include "data/profiles.h"
 #include "eval/evaluator.h"
@@ -35,6 +36,12 @@ int Usage() {
                "usage: dcmt_cli <generate|train|evaluate|predict> [--flags]\n"
                "run a subcommand with a bogus flag to list its options\n");
   return 2;
+}
+
+/// Applies the shared --threads flag (0 = DCMT_THREADS env / hardware
+/// default) before any tensor work runs.
+void ApplyThreadsFlag(const eval::Flags& flags) {
+  core::ThreadPool::Global().SetNumThreads(flags.GetInt("threads"));
 }
 
 models::ModelConfig ModelConfigFromFlags(const eval::Flags& flags) {
@@ -81,11 +88,13 @@ int TrainCmd(int argc, char** argv) {
                            {"weight-decay", "0.0001"},
                            {"val-fraction", "0"},
                            {"patience", "0"},
-                           {"seed", "7"}});
+                           {"seed", "7"},
+                           {"threads", "0"}});
   if (flags.Get("train").empty() || flags.Get("ckpt").empty()) {
     std::fprintf(stderr, "train: --train and --ckpt are required\n");
     return 2;
   }
+  ApplyThreadsFlag(flags);
   data::Dataset train;
   if (!data::ReadCsv(flags.Get("train"), &train)) {
     std::fprintf(stderr, "train: cannot read %s\n", flags.Get("train").c_str());
@@ -122,11 +131,13 @@ int EvaluateCmd(int argc, char** argv) {
                            {"test", ""},
                            {"lambda1", "1.0"},
                            {"embedding-dim", "16"},
-                           {"seed", "7"}});
+                           {"seed", "7"},
+                           {"threads", "0"}});
   if (flags.Get("ckpt").empty() || flags.Get("test").empty()) {
     std::fprintf(stderr, "evaluate: --ckpt and --test are required\n");
     return 2;
   }
+  ApplyThreadsFlag(flags);
   data::Dataset test;
   if (!data::ReadCsv(flags.Get("test"), &test)) {
     std::fprintf(stderr, "evaluate: cannot read %s\n", flags.Get("test").c_str());
@@ -160,12 +171,14 @@ int PredictCmd(int argc, char** argv) {
                            {"out", ""},
                            {"lambda1", "1.0"},
                            {"embedding-dim", "16"},
-                           {"seed", "7"}});
+                           {"seed", "7"},
+                           {"threads", "0"}});
   if (flags.Get("ckpt").empty() || flags.Get("input").empty() ||
       flags.Get("out").empty()) {
     std::fprintf(stderr, "predict: --ckpt, --input and --out are required\n");
     return 2;
   }
+  ApplyThreadsFlag(flags);
   data::Dataset input;
   if (!data::ReadCsv(flags.Get("input"), &input)) {
     std::fprintf(stderr, "predict: cannot read %s\n", flags.Get("input").c_str());

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification + perf trajectory, in one command:
+#   configure, build, run the full test suite, then run the thread-scaling
+#   benchmark and write the machine-readable BENCH_engine.json at the repo
+#   root. CI and future PRs compare against that file.
+#
+# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+"$BUILD_DIR"/bench/bench_parallel_scaling \
+  --benchmark_out="$BUILD_DIR"/bench_parallel_raw.json \
+  --benchmark_out_format=json
+"$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json BENCH_engine.json
+
+echo "tier-1 OK; perf trajectory written to BENCH_engine.json"
