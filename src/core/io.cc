@@ -1,0 +1,302 @@
+#include "core/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace dcmt {
+namespace core {
+namespace {
+
+/// CRC32 lookup table for the reflected IEEE 802.3 polynomial 0xEDB88320,
+/// built once on first use.
+const std::uint32_t* Crc32Table() {
+  static const std::uint32_t* table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+class PosixFileWriter : public FileWriter {
+ public:
+  explicit PosixFileWriter(int fd) : fd_(fd) {}
+  ~PosixFileWriter() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Write(const void* data, std::size_t size) override {
+    if (fd_ < 0) return false;
+    const char* p = static_cast<const char*>(data);
+    while (size > 0) {
+      const ::ssize_t n = ::write(fd_, p, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      size -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool Sync() override { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+  bool Close() override {
+    if (fd_ < 0) return false;
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    return rc == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixFileReader : public FileReader {
+ public:
+  explicit PosixFileReader(int fd) : fd_(fd) {}
+  ~PosixFileReader() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Read(void* data, std::size_t size) override {
+    if (fd_ < 0) return false;
+    char* p = static_cast<char*>(data);
+    while (size > 0) {
+      const ::ssize_t n = ::read(fd_, p, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // EOF before `size` bytes
+      p += n;
+      size -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadAll(std::string* out) override {
+    if (fd_ < 0) return false;
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+      const ::ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return true;
+      out->append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  std::unique_ptr<FileWriter> OpenForWrite(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return nullptr;
+    return std::make_unique<PosixFileWriter>(fd);
+  }
+
+  std::unique_ptr<FileReader> OpenForRead(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return nullptr;
+    return std::make_unique<PosixFileReader>(fd);
+  }
+
+  bool Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) return false;
+    // fsync the containing directory so the rename itself is durable.
+    const std::size_t slash = to.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : to.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+    return true;
+  }
+
+  bool Remove(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+  }
+
+  bool CreateDirectories(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    return !ec && std::filesystem::is_directory(path, ec);
+  }
+
+  bool Exists(const std::string& path) override {
+    struct ::stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+/// Writer decorator applying a FaultSpec's write-side faults.
+class FaultyWriter : public FileWriter {
+ public:
+  FaultyWriter(std::unique_ptr<FileWriter> base, const FaultSpec& spec,
+               bool faults_active)
+      : base_(std::move(base)), spec_(spec), active_(faults_active) {}
+
+  bool Write(const void* data, std::size_t size) override {
+    if (!active_) return base_->Write(data, size);
+    const char* p = static_cast<const char*>(data);
+    std::string mutated;  // only materialized when a flip lands in this write
+    if (spec_.flip_write_at >= 0 && spec_.flip_write_at >= offset_ &&
+        spec_.flip_write_at < offset_ + static_cast<std::int64_t>(size)) {
+      mutated.assign(p, size);
+      mutated[static_cast<std::size_t>(spec_.flip_write_at - offset_)] ^=
+          static_cast<char>(spec_.flip_mask);
+      p = mutated.data();
+    }
+    if (spec_.fail_write_at >= 0 &&
+        offset_ + static_cast<std::int64_t>(size) > spec_.fail_write_at) {
+      // Torn write: persist the prefix up to the fault point, then fail.
+      const std::size_t keep = static_cast<std::size_t>(
+          spec_.fail_write_at > offset_ ? spec_.fail_write_at - offset_ : 0);
+      if (keep > 0) base_->Write(p, keep);
+      offset_ += static_cast<std::int64_t>(keep);
+      return false;
+    }
+    offset_ += static_cast<std::int64_t>(size);
+    return base_->Write(p, size);
+  }
+
+  bool Sync() override {
+    if (active_ && spec_.fail_sync) return false;
+    return base_->Sync();
+  }
+
+  bool Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<FileWriter> base_;
+  FaultSpec spec_;
+  bool active_;
+  std::int64_t offset_ = 0;
+};
+
+/// Reader decorator applying a FaultSpec's read-side faults.
+class FaultyReader : public FileReader {
+ public:
+  FaultyReader(std::unique_ptr<FileReader> base, const FaultSpec& spec)
+      : base_(std::move(base)), spec_(spec) {}
+
+  bool Read(void* data, std::size_t size) override {
+    if (spec_.fail_read_at >= 0 &&
+        offset_ + static_cast<std::int64_t>(size) > spec_.fail_read_at) {
+      return false;
+    }
+    if (!base_->Read(data, size)) return false;
+    offset_ += static_cast<std::int64_t>(size);
+    return true;
+  }
+
+  bool ReadAll(std::string* out) override {
+    if (!base_->ReadAll(out)) return false;
+    if (spec_.fail_read_at >= 0 &&
+        offset_ + static_cast<std::int64_t>(out->size()) > spec_.fail_read_at) {
+      return false;
+    }
+    offset_ += static_cast<std::int64_t>(out->size());
+    return true;
+  }
+
+ private:
+  std::unique_ptr<FileReader> base_;
+  FaultSpec spec_;
+  std::int64_t offset_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::uint32_t* table = Crc32Table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem fs;
+  return &fs;
+}
+
+bool AtomicWriteFile(FileSystem* fs, const std::string& path,
+                     const std::string& contents) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<FileWriter> w = fs->OpenForWrite(tmp);
+  if (w == nullptr) return false;
+  const bool written = w->Write(contents.data(), contents.size()) && w->Sync() &&
+                       w->Close();
+  if (!written || !fs->Rename(tmp, path)) {
+    fs->Remove(tmp);
+    return false;
+  }
+  return true;
+}
+
+FaultInjectingFileSystem::FaultInjectingFileSystem(FaultSpec spec,
+                                                   FileSystem* base)
+    : spec_(spec), base_(base != nullptr ? base : FileSystem::Default()) {}
+
+FaultInjectingFileSystem::~FaultInjectingFileSystem() = default;
+
+std::unique_ptr<FileWriter> FaultInjectingFileSystem::OpenForWrite(
+    const std::string& path) {
+  ++writes_opened_;
+  std::unique_ptr<FileWriter> base = base_->OpenForWrite(path);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultyWriter>(std::move(base), spec_,
+                                        WriteFaultsActive());
+}
+
+std::unique_ptr<FileReader> FaultInjectingFileSystem::OpenForRead(
+    const std::string& path) {
+  std::unique_ptr<FileReader> base = base_->OpenForRead(path);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultyReader>(std::move(base), spec_);
+}
+
+bool FaultInjectingFileSystem::Rename(const std::string& from,
+                                      const std::string& to) {
+  if (spec_.fail_rename && WriteFaultsActive()) return false;
+  return base_->Rename(from, to);
+}
+
+bool FaultInjectingFileSystem::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+bool FaultInjectingFileSystem::CreateDirectories(const std::string& path) {
+  return base_->CreateDirectories(path);
+}
+
+bool FaultInjectingFileSystem::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+}  // namespace core
+}  // namespace dcmt

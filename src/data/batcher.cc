@@ -96,6 +96,28 @@ bool Batcher::Next(Batch* batch) {
   return true;
 }
 
+BatcherState Batcher::SaveState() const {
+  BatcherState state;
+  state.order = order_;
+  state.cursor = cursor_;
+  state.fresh_epoch = fresh_epoch_;
+  return state;
+}
+
+bool Batcher::RestoreState(const BatcherState& state) {
+  if (static_cast<std::int64_t>(state.order.size()) != dataset_->size()) {
+    return false;
+  }
+  if (state.cursor < 0 || state.cursor > dataset_->size()) return false;
+  for (const std::int64_t idx : state.order) {
+    if (idx < 0 || idx >= dataset_->size()) return false;
+  }
+  order_ = state.order;
+  cursor_ = state.cursor;
+  fresh_epoch_ = state.fresh_epoch;
+  return true;
+}
+
 std::int64_t Batcher::batches_per_epoch() const {
   return (dataset_->size() + batch_size_ - 1) / batch_size_;
 }

@@ -44,6 +44,15 @@ Batch MakeBatch(const std::vector<Example>& examples,
 /// evaluation, which streams a test set in order).
 Batch MakeContiguousBatch(const Dataset& dataset, std::int64_t first, int count);
 
+/// Complete serializable position of a Batcher inside its epoch stream:
+/// the current epoch's shuffled order plus the cursor. Together with the
+/// state of the shuffle Rng this resumes batching bit-exactly mid-epoch.
+struct BatcherState {
+  std::vector<std::int64_t> order;
+  std::int64_t cursor = 0;
+  bool fresh_epoch = true;
+};
+
 /// Iterates a dataset in minibatches, reshuffling per epoch when a rng is
 /// provided. The final short batch of an epoch is emitted (not dropped).
 class Batcher {
@@ -60,6 +69,15 @@ class Batcher {
   void Rewind() { cursor_ = 0; }
 
   std::int64_t batches_per_epoch() const;
+
+  /// Captures the epoch order and cursor for checkpointing. (The shuffle
+  /// Rng is owned by the caller and checkpointed separately.)
+  BatcherState SaveState() const;
+
+  /// Restores a state captured by SaveState(). All-or-nothing: rejects a
+  /// state whose order size or cursor does not fit this batcher's dataset,
+  /// returning false with the batcher unchanged.
+  bool RestoreState(const BatcherState& state);
 
  private:
   void ShuffleIfNeeded();

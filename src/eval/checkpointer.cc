@@ -1,0 +1,281 @@
+#include "eval/checkpointer.h"
+
+#include <cstring>
+
+#include "nn/serialize.h"
+
+namespace dcmt {
+namespace eval {
+namespace {
+
+std::uint64_t Fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string EncodeTrainerMeta(const TrainCheckpointState& state) {
+  nn::PayloadWriter w;
+  w.U64(state.fingerprint);
+  w.I32(state.epoch);
+  w.F64(state.loss_sum);
+  w.I64(state.batches);
+  w.I64(state.steps);
+  w.I32(state.final_epoch);
+  w.F64Vec(state.epoch_loss);
+  w.F64Vec(state.validation_cvr_auc);
+  w.F64(state.best_val_auc);
+  w.I32(state.best_epoch);
+  w.I32(state.epochs_since_best);
+  return w.data();
+}
+
+bool DecodeTrainerMeta(std::string_view payload, TrainCheckpointState* state) {
+  nn::PayloadReader r(payload);
+  if (!r.U64(&state->fingerprint) || !r.I32(&state->epoch) ||
+      !r.F64(&state->loss_sum) || !r.I64(&state->batches) ||
+      !r.I64(&state->steps) || !r.I32(&state->final_epoch) ||
+      !r.F64Vec(&state->epoch_loss) || !r.F64Vec(&state->validation_cvr_auc) ||
+      !r.F64(&state->best_val_auc) || !r.I32(&state->best_epoch) ||
+      !r.I32(&state->epochs_since_best)) {
+    return false;
+  }
+  if (state->epoch < 0 || state->batches < 0 || state->steps < 0) return false;
+  return r.AtEnd();
+}
+
+std::string EncodeAdamState(const optim::AdamState& adam) {
+  nn::PayloadWriter w;
+  w.I64(adam.step);
+  w.F32(adam.lr);
+  w.U32(static_cast<std::uint32_t>(adam.m.size()));
+  for (std::size_t k = 0; k < adam.m.size(); ++k) {
+    w.F32Vec(adam.m[k]);
+    w.F32Vec(adam.v[k]);
+  }
+  return w.data();
+}
+
+bool DecodeAdamState(std::string_view payload, optim::AdamState* adam) {
+  nn::PayloadReader r(payload);
+  std::uint32_t count = 0;
+  if (!r.I64(&adam->step) || !r.F32(&adam->lr) || !r.U32(&count)) return false;
+  adam->m.resize(count);
+  adam->v.resize(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    if (!r.F32Vec(&adam->m[k]) || !r.F32Vec(&adam->v[k])) return false;
+  }
+  return adam->step >= 0 && r.AtEnd();
+}
+
+std::string EncodeRngState(const RngState& rng) {
+  nn::PayloadWriter w;
+  for (int i = 0; i < 4; ++i) w.U64(rng.s[i]);
+  w.U8(rng.has_spare_normal ? 1 : 0);
+  w.F32(rng.spare_normal);
+  return w.data();
+}
+
+bool DecodeRngState(std::string_view payload, RngState* rng) {
+  nn::PayloadReader r(payload);
+  for (int i = 0; i < 4; ++i) {
+    if (!r.U64(&rng->s[i])) return false;
+  }
+  std::uint8_t has_spare = 0;
+  if (!r.U8(&has_spare) || has_spare > 1 || !r.F32(&rng->spare_normal)) {
+    return false;
+  }
+  rng->has_spare_normal = has_spare != 0;
+  return r.AtEnd();
+}
+
+std::string EncodeBatcherState(const data::BatcherState& batcher) {
+  nn::PayloadWriter w;
+  w.I64(batcher.cursor);
+  w.U8(batcher.fresh_epoch ? 1 : 0);
+  w.I64Vec(batcher.order);
+  return w.data();
+}
+
+bool DecodeBatcherState(std::string_view payload, data::BatcherState* batcher) {
+  nn::PayloadReader r(payload);
+  std::uint8_t fresh = 0;
+  if (!r.I64(&batcher->cursor) || !r.U8(&fresh) || fresh > 1 ||
+      !r.I64Vec(&batcher->order)) {
+    return false;
+  }
+  batcher->fresh_epoch = fresh != 0;
+  return r.AtEnd();
+}
+
+std::string EncodeSnapshot(const std::vector<std::vector<float>>& snapshot) {
+  nn::PayloadWriter w;
+  w.U32(static_cast<std::uint32_t>(snapshot.size()));
+  for (const std::vector<float>& p : snapshot) w.F32Vec(p);
+  return w.data();
+}
+
+bool DecodeSnapshot(std::string_view payload,
+                    std::vector<std::vector<float>>* snapshot) {
+  nn::PayloadReader r(payload);
+  std::uint32_t count = 0;
+  if (!r.U32(&count)) return false;
+  snapshot->resize(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    if (!r.F32Vec(&(*snapshot)[k])) return false;
+  }
+  return r.AtEnd();
+}
+
+/// True iff `snapshot` has exactly the module's parameter count and sizes.
+bool SnapshotMatchesModule(const std::vector<std::vector<float>>& snapshot,
+                           const nn::Module& module) {
+  const auto& params = module.parameters();
+  if (snapshot.size() != params.size()) return false;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    if (snapshot[k].size() != static_cast<std::size_t>(params[k].size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t FingerprintTrainSetup(const nn::Module& module,
+                                    const TrainConfig& config,
+                                    std::int64_t dataset_size) {
+  nn::PayloadWriter w;
+  w.I32(config.epochs);
+  w.I32(config.batch_size);
+  w.F32(config.learning_rate);
+  w.F32(config.weight_decay);
+  w.F32(config.grad_clip);
+  w.U64(config.seed);
+  w.F64(config.validation_fraction);
+  w.I32(config.early_stopping_patience);
+  w.F32(config.lr_decay);
+  w.I64(dataset_size);
+  w.U32(static_cast<std::uint32_t>(module.parameters().size()));
+  for (const Tensor& p : module.parameters()) {
+    w.Str(p.name());
+    w.I32(p.rows());
+    w.I32(p.cols());
+  }
+  return Fnv1a64(w.data());
+}
+
+Checkpointer::Checkpointer(std::string dir, core::FileSystem* fs)
+    : dir_(std::move(dir)),
+      path_(dir_ + "/train_state.ckpt"),
+      fs_(fs != nullptr ? fs : core::FileSystem::Default()) {
+  fs_->CreateDirectories(dir_);
+}
+
+bool Checkpointer::Save(const nn::Module& module,
+                        const TrainCheckpointState& state) {
+  std::string image(nn::kCheckpointMagicV2, sizeof(nn::kCheckpointMagicV2));
+  const std::uint32_t version = nn::kCheckpointVersion;
+  image.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  nn::AppendRecord(&image, nn::kTrainerMeta, EncodeTrainerMeta(state));
+  nn::AppendRecord(&image, nn::kParameters, nn::EncodeParametersPayload(module));
+  nn::AppendRecord(&image, nn::kAdamState, EncodeAdamState(state.adam));
+  nn::AppendRecord(&image, nn::kRngState, EncodeRngState(state.shuffle_rng));
+  nn::AppendRecord(&image, nn::kBatcherState, EncodeBatcherState(state.batcher));
+  if (!state.best_snapshot.empty()) {
+    nn::AppendRecord(&image, nn::kBestSnapshot, EncodeSnapshot(state.best_snapshot));
+  }
+  nn::AppendRecord(&image, nn::kEnd, {});
+  return core::AtomicWriteFile(fs_, path_, image);
+}
+
+bool Checkpointer::Restore(std::uint64_t expected_fingerprint,
+                           nn::Module* module, optim::Adam* adam,
+                           data::Batcher* batcher, Rng* rng,
+                           TrainCheckpointState* state) const {
+  std::unique_ptr<core::FileReader> reader = fs_->OpenForRead(path_);
+  if (reader == nullptr) return false;
+  std::string image;
+  if (!reader->ReadAll(&image)) return false;
+
+  // Phase 1 — parse and verify the whole file (framing + CRCs).
+  std::vector<nn::RecordView> records;
+  if (!nn::ParseCheckpointImage(image, &records)) return false;
+
+  std::string_view params_payload;
+  bool have_meta = false, have_params = false, have_adam = false,
+       have_rng = false, have_batcher = false, have_snapshot = false;
+  TrainCheckpointState decoded;
+  for (const nn::RecordView& record : records) {
+    switch (record.type) {
+      case nn::kTrainerMeta:
+        if (have_meta || !DecodeTrainerMeta(record.payload, &decoded)) return false;
+        have_meta = true;
+        break;
+      case nn::kParameters:
+        if (have_params) return false;
+        params_payload = record.payload;
+        have_params = true;
+        break;
+      case nn::kAdamState:
+        if (have_adam || !DecodeAdamState(record.payload, &decoded.adam)) return false;
+        have_adam = true;
+        break;
+      case nn::kRngState:
+        if (have_rng || !DecodeRngState(record.payload, &decoded.shuffle_rng)) return false;
+        have_rng = true;
+        break;
+      case nn::kBatcherState:
+        if (have_batcher || !DecodeBatcherState(record.payload, &decoded.batcher)) return false;
+        have_batcher = true;
+        break;
+      case nn::kBestSnapshot:
+        if (have_snapshot || !DecodeSnapshot(record.payload, &decoded.best_snapshot)) return false;
+        have_snapshot = true;
+        break;
+      default:
+        return false;  // unknown record type: not a file this build wrote
+    }
+  }
+  if (!have_meta || !have_params || !have_adam || !have_rng || !have_batcher) {
+    return false;
+  }
+
+  // Phase 2 — validate every payload against the live objects, still
+  // without mutating anything.
+  if (decoded.fingerprint != expected_fingerprint) return false;
+  if (!nn::ValidateParametersPayload(params_payload, *module)) return false;
+  const auto& adam_params = adam->params();
+  if (decoded.adam.m.size() != adam_params.size() ||
+      decoded.adam.v.size() != adam_params.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < adam_params.size(); ++k) {
+    const std::size_t n = static_cast<std::size_t>(adam_params[k].size());
+    if (decoded.adam.m[k].size() != n || decoded.adam.v[k].size() != n) {
+      return false;
+    }
+  }
+  if (!decoded.best_snapshot.empty() &&
+      !SnapshotMatchesModule(decoded.best_snapshot, *module)) {
+    return false;
+  }
+
+  // Phase 3 — apply. RestoreState re-checks the batcher invariants and is
+  // the first mutation; everything after it has been pre-validated above
+  // and cannot fail.
+  if (!batcher->RestoreState(decoded.batcher)) return false;
+  if (!adam->ImportState(decoded.adam)) return false;
+  if (!nn::ApplyParametersPayload(params_payload, module)) return false;
+  rng->set_state(decoded.shuffle_rng);
+  *state = std::move(decoded);
+  return true;
+}
+
+bool Checkpointer::Exists() const { return fs_->Exists(path_); }
+
+}  // namespace eval
+}  // namespace dcmt

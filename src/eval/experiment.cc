@@ -31,6 +31,12 @@ ExperimentResult RunOfflineExperiment(const std::string& model_name,
     mc.seed = model_config.seed + static_cast<std::uint64_t>(run) * 1000003ULL;
     TrainConfig tc = train_config;
     tc.seed = train_config.seed + static_cast<std::uint64_t>(run) * 999983ULL;
+    // Each repeat checkpoints into its own subdirectory: repeats run
+    // concurrently and have different seeds, so sharing one train_state.ckpt
+    // would both race and cross-contaminate resumes.
+    if (!tc.checkpoint_dir.empty()) {
+      tc.checkpoint_dir += "/run" + std::to_string(run);
+    }
 
     auto model = core::CreateModel(model_name, train.schema(), mc);
     histories[static_cast<std::size_t>(run)] = Train(model.get(), train, tc);

@@ -35,6 +35,9 @@ struct ExperimentResult {
 /// Repeats run concurrently over the core::ThreadPool (each run owns its
 /// model and RNG state); per-run results and their aggregation are
 /// independent of how many workers the pool has.
+/// With `train_config.checkpoint_dir` set, run i checkpoints into (and
+/// resumes from) `<checkpoint_dir>/run<i>`, so concurrent repeats never
+/// share a checkpoint file.
 ExperimentResult RunOfflineExperiment(const std::string& model_name,
                                       const data::DatasetProfile& profile,
                                       const models::ModelConfig& model_config,

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "data/batcher.h"
+#include "eval/checkpointer.h"
 #include "eval/evaluator.h"
 #include "optim/adam.h"
 
@@ -62,9 +64,92 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
   int epochs_since_best = 0;
   std::vector<std::vector<float>> best_snapshot;
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  // --- Crash-safe checkpointing (DESIGN.md §10). ---------------------------
+  std::unique_ptr<Checkpointer> checkpointer;
+  std::uint64_t fingerprint = 0;
+  int start_epoch = 0;
+  double resumed_loss_sum = 0.0;
+  std::int64_t resumed_batches = 0;
+  bool resume_mid_epoch = false;
+  if (!config.checkpoint_dir.empty()) {
+    fingerprint = FingerprintTrainSetup(*model, config, fit_split.size());
+    checkpointer = std::make_unique<Checkpointer>(config.checkpoint_dir, config.fs);
+    if (config.resume) {
+      TrainCheckpointState saved;
+      if (checkpointer->Restore(fingerprint, model, &adam, &batcher,
+                                &shuffle_rng, &saved) &&
+          saved.epoch <= config.epochs) {
+        start_epoch = saved.epoch;
+        resumed_loss_sum = saved.loss_sum;
+        resumed_batches = saved.batches;
+        resume_mid_epoch = true;
+        history.steps = saved.steps;
+        history.final_epoch = saved.final_epoch;
+        history.epoch_loss = saved.epoch_loss;
+        history.validation_cvr_auc = saved.validation_cvr_auc;
+        best_val_auc = saved.best_val_auc;
+        best_epoch = saved.best_epoch;
+        epochs_since_best = saved.epochs_since_best;
+        best_snapshot = std::move(saved.best_snapshot);
+        if (config.verbose) {
+          std::fprintf(stderr,
+                       "[train %s] resumed from %s at epoch %d, step %lld\n",
+                       model->name().c_str(), checkpointer->path().c_str(),
+                       start_epoch, static_cast<long long>(history.steps));
+        }
+      } else if (config.verbose) {
+        std::fprintf(stderr,
+                     "[train %s] no usable checkpoint in %s; training from "
+                     "scratch\n",
+                     model->name().c_str(), config.checkpoint_dir.c_str());
+      }
+    }
+  }
+
+  // Persists the complete training state; `epoch`/`loss_sum`/`batches`
+  // describe the epoch in progress at the save point. A failed save is
+  // reported but does not stop training — the previous checkpoint is intact.
+  const auto save_checkpoint = [&](int epoch, double loss_sum,
+                                   std::int64_t batches) {
+    TrainCheckpointState state;
+    state.fingerprint = fingerprint;
+    state.epoch = epoch;
+    state.loss_sum = loss_sum;
+    state.batches = batches;
+    state.steps = history.steps;
+    state.final_epoch = history.final_epoch;
+    state.epoch_loss = history.epoch_loss;
+    state.validation_cvr_auc = history.validation_cvr_auc;
+    state.best_val_auc = best_val_auc;
+    state.best_epoch = best_epoch;
+    state.epochs_since_best = epochs_since_best;
+    state.best_snapshot = best_snapshot;
+    state.adam = adam.ExportState();
+    state.shuffle_rng = shuffle_rng.state();
+    state.batcher = batcher.SaveState();
+    if (!checkpointer->Save(*model, state) && config.verbose) {
+      std::fprintf(stderr, "[train %s] checkpoint save to %s failed\n",
+                   model->name().c_str(), checkpointer->path().c_str());
+    }
+  };
+
+  const auto elapsed_training_seconds = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count() -
+           eval_seconds;
+  };
+
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
     double loss_sum = 0.0;
     std::int64_t batches = 0;
+    if (resume_mid_epoch) {
+      // Continue the interrupted epoch exactly where the checkpoint left it
+      // (the batcher cursor and shuffle RNG were restored alongside).
+      loss_sum = resumed_loss_sum;
+      batches = resumed_batches;
+      resume_mid_epoch = false;
+    }
     data::Batch batch;
     while (batcher.Next(&batch)) {
       adam.ZeroGrad();
@@ -76,6 +161,17 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       loss_sum += loss.item();
       ++batches;
       ++history.steps;
+      if (checkpointer != nullptr && config.checkpoint_every > 0 &&
+          history.steps % config.checkpoint_every == 0) {
+        save_checkpoint(epoch, loss_sum, batches);
+      }
+      if (config.halt_after_steps > 0 &&
+          history.steps >= config.halt_after_steps) {
+        // Simulated crash (or exhausted step budget): return immediately —
+        // no final checkpoint, history reflects only the completed epochs.
+        history.seconds = elapsed_training_seconds();
+        return history;
+      }
     }
     const double epoch_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
     history.epoch_loss.push_back(epoch_loss);
@@ -85,6 +181,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       adam.set_lr(adam.lr() * config.lr_decay);
     }
 
+    bool stop_early = false;
     if (has_validation && !val_split.empty()) {
       const auto eval_start = std::chrono::steady_clock::now();
       const EvalResult val = Evaluate(model, val_split);
@@ -111,12 +208,19 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
             RestoreParameters(model, best_snapshot);
             history.final_epoch = best_epoch;
           }
-          break;
+          stop_early = true;
         }
       }
     } else if (config.verbose) {
       std::fprintf(stderr, "[train %s] epoch %d/%d loss %.5f\n",
                    model->name().c_str(), epoch + 1, config.epochs, epoch_loss);
+    }
+
+    if (stop_early) break;
+    if (checkpointer != nullptr) {
+      // Epoch-end save: records the next epoch as "in progress, 0 batches".
+      // This also persists any best-epoch improvement made just above.
+      save_checkpoint(epoch + 1, 0.0, 0);
     }
   }
 
@@ -128,12 +232,15 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     history.final_epoch = best_epoch;
   }
 
+  // Final checkpoint: a completed run resumes as a no-op with the selected
+  // parameters in place.
+  if (checkpointer != nullptr) {
+    save_checkpoint(config.epochs, 0.0, 0);
+  }
+
   // Report pure training time: validation Evaluate passes are bookkeeping,
   // and counting them would misstate train throughput.
-  history.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count() -
-      eval_seconds;
+  history.seconds = elapsed_training_seconds();
   return history;
 }
 

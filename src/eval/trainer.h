@@ -2,12 +2,17 @@
 #define DCMT_EVAL_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
 #include "models/multi_task_model.h"
 
 namespace dcmt {
+namespace core {
+class FileSystem;
+}  // namespace core
+
 namespace eval {
 
 /// Optimization settings (paper Section IV-A2: Adam, lr 1e-3, batch 1024,
@@ -35,6 +40,27 @@ struct TrainConfig {
   int early_stopping_patience = 0;
   /// Per-epoch multiplicative learning-rate decay (1 = constant).
   float lr_decay = 1.0f;
+
+  // --- Crash-safe checkpointing (DESIGN.md §10) ---------------------------
+  /// Directory for full training-state checkpoints ("" = disabled). The
+  /// trainer atomically rewrites `<dir>/train_state.ckpt` every
+  /// `checkpoint_every` steps, at every epoch end (which covers best-epoch
+  /// improvements), and once more when training completes.
+  std::string checkpoint_dir;
+  /// Optimizer steps between mid-epoch checkpoints (0 = epoch ends only).
+  int checkpoint_every = 0;
+  /// Resume from `checkpoint_dir`'s checkpoint when one exists and matches
+  /// this exact setup (config + architecture + dataset size); otherwise
+  /// train from scratch. A resumed run replays the remaining schedule
+  /// bit-exactly at a fixed thread count.
+  bool resume = false;
+  /// Stop abruptly after this many optimizer steps, like a crash: no final
+  /// checkpoint, incomplete history. 0 = run to completion. Drives the
+  /// crash-resume tests and doubles as a step budget.
+  std::int64_t halt_after_steps = 0;
+  /// File-system seam for checkpoint I/O (null = the real file system);
+  /// tests inject a core::FaultInjectingFileSystem here.
+  core::FileSystem* fs = nullptr;
 };
 
 /// Per-epoch training record.

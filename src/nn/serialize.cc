@@ -1,88 +1,285 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstring>
-#include <fstream>
-#include <vector>
 
 namespace dcmt {
 namespace nn {
 namespace {
 
-constexpr char kMagic[8] = {'D', 'C', 'M', 'T', 'C', 'K', 'P', '1'};
+/// Staged, fully validated parameter data: nothing touches the module until
+/// every record has been checked.
+struct StagedParameters {
+  std::vector<std::vector<float>> values;
+};
 
-bool WriteBytes(std::ofstream& out, const void* data, std::size_t size) {
-  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
-  return static_cast<bool>(out);
+void ApplyStaged(const StagedParameters& staged, Module* module) {
+  const auto& params = module->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor p = params[i];  // shared handle: writes reach the module
+    std::memcpy(p.data(), staged.values[i].data(),
+                sizeof(float) * staged.values[i].size());
+  }
 }
 
-bool ReadBytes(std::ifstream& in, void* data, std::size_t size) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  return static_cast<bool>(in);
+/// Parses the legacy v1 image (magic + u32 count + bare records of
+/// name/rows/cols/raw floats). Strict: the image must end exactly after the
+/// last record — v1 files with trailing garbage are rejected.
+bool StageV1(std::string_view image, const Module& module,
+             StagedParameters* staged) {
+  std::size_t pos = sizeof(kCheckpointMagicV1);
+  const auto read = [&](void* out, std::size_t n) {
+    if (image.size() - pos < n) return false;
+    std::memcpy(out, image.data() + pos, n);
+    pos += n;
+    return true;
+  };
+
+  std::uint32_t count = 0;
+  if (!read(&count, sizeof(count))) return false;
+  const auto& params = module.parameters();
+  if (count != params.size()) return false;
+
+  staged->values.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    if (!read(&name_len, sizeof(name_len)) || name_len > 4096) return false;
+    std::string name(name_len, '\0');
+    if (!read(name.data(), name_len)) return false;
+    std::int32_t rows = 0, cols = 0;
+    if (!read(&rows, sizeof(rows))) return false;
+    if (!read(&cols, sizeof(cols))) return false;
+    const Tensor& p = params[i];
+    if (name != p.name() || rows != p.rows() || cols != p.cols()) return false;
+    staged->values[i].resize(static_cast<std::size_t>(p.size()));
+    if (!read(staged->values[i].data(), sizeof(float) * staged->values[i].size())) {
+      return false;
+    }
+  }
+  return pos == image.size();
+}
+
+/// Validates a kParameters payload against the module into `staged`.
+bool StageV2Payload(std::string_view payload, const Module& module,
+                    StagedParameters* staged) {
+  PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  if (!reader.U32(&count)) return false;
+  const auto& params = module.parameters();
+  if (count != params.size()) return false;
+
+  staged->values.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::int32_t rows = 0, cols = 0;
+    if (!reader.Str(&name) || !reader.I32(&rows) || !reader.I32(&cols) ||
+        !reader.F32Vec(&staged->values[i])) {
+      return false;
+    }
+    const Tensor& p = params[i];
+    if (name != p.name() || rows != p.rows() || cols != p.cols()) return false;
+    if (staged->values[i].size() != static_cast<std::size_t>(p.size())) {
+      return false;
+    }
+  }
+  return reader.AtEnd();
 }
 
 }  // namespace
 
-bool SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  if (!WriteBytes(out, kMagic, sizeof(kMagic))) return false;
-  const std::uint32_t count = static_cast<std::uint32_t>(module.parameters().size());
-  if (!WriteBytes(out, &count, sizeof(count))) return false;
+// --- PayloadWriter ---------------------------------------------------------
 
-  for (const Tensor& p : module.parameters()) {
-    const std::string& name = p.name();
-    const std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
-    const std::int32_t rows = p.rows();
-    const std::int32_t cols = p.cols();
-    if (!WriteBytes(out, &name_len, sizeof(name_len))) return false;
-    if (!WriteBytes(out, name.data(), name.size())) return false;
-    if (!WriteBytes(out, &rows, sizeof(rows))) return false;
-    if (!WriteBytes(out, &cols, sizeof(cols))) return false;
-    if (!WriteBytes(out, p.data(), sizeof(float) * static_cast<std::size_t>(p.size()))) {
-      return false;
-    }
-  }
-  return static_cast<bool>(out);
+void PayloadWriter::Raw(const void* p, std::size_t n) {
+  buf_.append(static_cast<const char*>(p), n);
 }
 
-bool LoadParameters(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  char magic[8];
-  if (!ReadBytes(in, magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+void PayloadWriter::U8(std::uint8_t v) { Raw(&v, sizeof(v)); }
+void PayloadWriter::U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+void PayloadWriter::I32(std::int32_t v) { Raw(&v, sizeof(v)); }
+void PayloadWriter::U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+void PayloadWriter::I64(std::int64_t v) { Raw(&v, sizeof(v)); }
+void PayloadWriter::F32(float v) { Raw(&v, sizeof(v)); }
+void PayloadWriter::F64(double v) { Raw(&v, sizeof(v)); }
+
+void PayloadWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  Raw(s.data(), s.size());
+}
+
+void PayloadWriter::F32Vec(const std::vector<float>& v) {
+  F32Array(v.data(), v.size());
+}
+
+void PayloadWriter::F32Array(const float* data, std::size_t n) {
+  U64(n);
+  Raw(data, sizeof(float) * n);
+}
+
+void PayloadWriter::F64Vec(const std::vector<double>& v) {
+  U64(v.size());
+  Raw(v.data(), sizeof(double) * v.size());
+}
+
+void PayloadWriter::I64Vec(const std::vector<std::int64_t>& v) {
+  U64(v.size());
+  Raw(v.data(), sizeof(std::int64_t) * v.size());
+}
+
+// --- PayloadReader ---------------------------------------------------------
+
+bool PayloadReader::Raw(void* p, std::size_t n) {
+  if (!ok_ || rest_.size() < n) {
+    ok_ = false;
     return false;
   }
-  std::uint32_t count = 0;
-  if (!ReadBytes(in, &count, sizeof(count))) return false;
-  if (count != module->parameters().size()) return false;
+  std::memcpy(p, rest_.data(), n);
+  rest_.remove_prefix(n);
+  return true;
+}
 
-  // Stage everything first so a malformed file cannot half-update the model.
-  std::vector<std::vector<float>> staged(count);
-  const auto& params = module->parameters();
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint32_t name_len = 0;
-    if (!ReadBytes(in, &name_len, sizeof(name_len)) || name_len > 4096) {
-      return false;
-    }
-    std::string name(name_len, '\0');
-    if (!ReadBytes(in, name.data(), name_len)) return false;
-    std::int32_t rows = 0, cols = 0;
-    if (!ReadBytes(in, &rows, sizeof(rows))) return false;
-    if (!ReadBytes(in, &cols, sizeof(cols))) return false;
-    const Tensor& p = params[i];
-    if (name != p.name() || rows != p.rows() || cols != p.cols()) return false;
-    staged[i].resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
-    if (!ReadBytes(in, staged[i].data(), sizeof(float) * staged[i].size())) {
-      return false;
-    }
-  }
+bool PayloadReader::U8(std::uint8_t* v) { return Raw(v, sizeof(*v)); }
+bool PayloadReader::U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
+bool PayloadReader::I32(std::int32_t* v) { return Raw(v, sizeof(*v)); }
+bool PayloadReader::U64(std::uint64_t* v) { return Raw(v, sizeof(*v)); }
+bool PayloadReader::I64(std::int64_t* v) { return Raw(v, sizeof(*v)); }
+bool PayloadReader::F32(float* v) { return Raw(v, sizeof(*v)); }
+bool PayloadReader::F64(double* v) { return Raw(v, sizeof(*v)); }
 
-  for (std::uint32_t i = 0; i < count; ++i) {
-    Tensor p = params[i];  // shared handle: writes reach the module
-    std::memcpy(p.data(), staged[i].data(), sizeof(float) * staged[i].size());
+bool PayloadReader::Str(std::string* s, std::size_t max_len) {
+  std::uint32_t len = 0;
+  if (!U32(&len) || len > max_len || rest_.size() < len) {
+    ok_ = false;
+    return false;
   }
+  s->assign(rest_.data(), len);
+  rest_.remove_prefix(len);
+  return true;
+}
+
+template <typename T>
+bool PayloadReader::Vec(std::vector<T>* v) {
+  std::uint64_t count = 0;
+  if (!U64(&count) || count > rest_.size() / sizeof(T)) {
+    ok_ = false;
+    return false;
+  }
+  v->resize(static_cast<std::size_t>(count));
+  return Raw(v->data(), sizeof(T) * v->size());
+}
+
+bool PayloadReader::F32Vec(std::vector<float>* v) { return Vec(v); }
+bool PayloadReader::F64Vec(std::vector<double>* v) { return Vec(v); }
+bool PayloadReader::I64Vec(std::vector<std::int64_t>* v) { return Vec(v); }
+
+// --- Record framing --------------------------------------------------------
+
+void AppendRecord(std::string* out, RecordType type, std::string_view payload) {
+  const std::uint32_t type_u32 = type;
+  const std::uint64_t size_u64 = payload.size();
+  char header[12];
+  std::memcpy(header, &type_u32, sizeof(type_u32));
+  std::memcpy(header + 4, &size_u64, sizeof(size_u64));
+  std::uint32_t crc = core::Crc32(header, sizeof(header));
+  crc = core::Crc32(payload.data(), payload.size(), crc);
+  out->append(header, sizeof(header));
+  out->append(payload.data(), payload.size());
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+}
+
+bool ParseCheckpointImage(std::string_view file, std::vector<RecordView>* records) {
+  records->clear();
+  if (file.size() < sizeof(kCheckpointMagicV2) + sizeof(std::uint32_t)) {
+    return false;
+  }
+  if (std::memcmp(file.data(), kCheckpointMagicV2, sizeof(kCheckpointMagicV2)) != 0) {
+    return false;
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, file.data() + sizeof(kCheckpointMagicV2), sizeof(version));
+  if (version != kCheckpointVersion) return false;
+
+  std::string_view rest =
+      file.substr(sizeof(kCheckpointMagicV2) + sizeof(std::uint32_t));
+  for (;;) {
+    if (rest.size() < 12 + sizeof(std::uint32_t)) return false;  // truncated
+    std::uint32_t type = 0;
+    std::uint64_t size = 0;
+    std::memcpy(&type, rest.data(), sizeof(type));
+    std::memcpy(&size, rest.data() + 4, sizeof(size));
+    if (size > rest.size() - 12 - sizeof(std::uint32_t)) return false;
+    const std::string_view payload = rest.substr(12, static_cast<std::size_t>(size));
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, rest.data() + 12 + size, sizeof(stored_crc));
+    std::uint32_t crc = core::Crc32(rest.data(), 12);
+    crc = core::Crc32(payload.data(), payload.size(), crc);
+    if (crc != stored_crc) return false;
+    rest.remove_prefix(12 + static_cast<std::size_t>(size) + sizeof(std::uint32_t));
+    if (type == kEnd) {
+      if (!payload.empty()) return false;
+      if (!rest.empty()) return false;  // trailing garbage after terminator
+      return true;
+    }
+    records->push_back(RecordView{type, payload});
+  }
+}
+
+// --- Parameter payloads ----------------------------------------------------
+
+std::string EncodeParametersPayload(const Module& module) {
+  PayloadWriter payload;
+  payload.U32(static_cast<std::uint32_t>(module.parameters().size()));
+  for (const Tensor& p : module.parameters()) {
+    payload.Str(p.name());
+    payload.I32(p.rows());
+    payload.I32(p.cols());
+    payload.F32Array(p.data(), static_cast<std::size_t>(p.size()));
+  }
+  return payload.data();
+}
+
+bool ValidateParametersPayload(std::string_view payload, const Module& module) {
+  StagedParameters staged;
+  return StageV2Payload(payload, module, &staged);
+}
+
+bool ApplyParametersPayload(std::string_view payload, Module* module) {
+  StagedParameters staged;
+  if (!StageV2Payload(payload, *module, &staged)) return false;
+  ApplyStaged(staged, module);
+  return true;
+}
+
+// --- Whole-file API --------------------------------------------------------
+
+bool SaveParameters(const Module& module, const std::string& path,
+                    core::FileSystem* fs) {
+  std::string image(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
+  const std::uint32_t version = kCheckpointVersion;
+  image.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  AppendRecord(&image, kParameters, EncodeParametersPayload(module));
+  AppendRecord(&image, kEnd, {});
+  return core::AtomicWriteFile(fs, path, image);
+}
+
+bool LoadParameters(Module* module, const std::string& path,
+                    core::FileSystem* fs) {
+  if (fs == nullptr) fs = core::FileSystem::Default();
+  std::unique_ptr<core::FileReader> reader = fs->OpenForRead(path);
+  if (reader == nullptr) return false;
+  std::string image;
+  if (!reader->ReadAll(&image)) return false;
+
+  StagedParameters staged;
+  if (image.size() >= sizeof(kCheckpointMagicV1) &&
+      std::memcmp(image.data(), kCheckpointMagicV1, sizeof(kCheckpointMagicV1)) == 0) {
+    if (!StageV1(image, *module, &staged)) return false;
+  } else {
+    std::vector<RecordView> records;
+    if (!ParseCheckpointImage(image, &records)) return false;
+    // A model checkpoint carries exactly one kParameters record.
+    if (records.size() != 1 || records[0].type != kParameters) return false;
+    if (!StageV2Payload(records[0].payload, *module, &staged)) return false;
+  }
+  ApplyStaged(staged, module);
   return true;
 }
 

@@ -1,24 +1,149 @@
 #ifndef DCMT_NN_SERIALIZE_H_
 #define DCMT_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "core/io.h"
 #include "nn/module.h"
 
 namespace dcmt {
 namespace nn {
 
-/// Writes all parameters of `module` to a binary checkpoint. The format is
-/// self-describing: a magic/version header, then per-parameter records of
-/// (name, rows, cols, float32 data) in registration order. Returns false on
-/// I/O failure.
-bool SaveParameters(const Module& module, const std::string& path);
+// ---------------------------------------------------------------------------
+// Checkpoint container format (v2). See DESIGN.md §10 for the full layout.
+//
+//   file    := magic(8) version(u32) record* end-record
+//   record  := type(u32) payload_size(u64) payload crc32(u32)
+//
+// The CRC of each record covers its type, size and payload, so truncation,
+// bit flips and framing damage are all detected before any payload is
+// interpreted. Files must end with a kEnd record followed immediately by
+// EOF; trailing garbage is rejected. Writers go through core::AtomicWriteFile
+// (tmp + fsync + rename), so a crash mid-save leaves the previous complete
+// file in place, never a torn one.
+//
+// The legacy v1 format (magic "DCMTCKP1": bare parameter records, no
+// checksums) is still readable by LoadParameters.
+// ---------------------------------------------------------------------------
 
-/// Loads a checkpoint written by SaveParameters into `module`. Every
-/// parameter must match by name, order and shape — a checkpoint from a
-/// different architecture (or hyper-parameters) is rejected and the module
-/// is left unchanged. Returns false on I/O failure or mismatch.
-bool LoadParameters(Module* module, const std::string& path);
+inline constexpr char kCheckpointMagicV1[8] = {'D', 'C', 'M', 'T', 'C', 'K', 'P', '1'};
+inline constexpr char kCheckpointMagicV2[8] = {'D', 'C', 'M', 'T', 'C', 'K', 'P', '2'};
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Record types a v2 checkpoint file may carry. Model-only checkpoints hold
+/// a single kParameters record; full training checkpoints (eval::Checkpointer)
+/// add optimizer/RNG/batcher/trainer records.
+enum RecordType : std::uint32_t {
+  kEnd = 0,           // terminator; empty payload
+  kParameters = 1,    // module parameters (names, shapes, float32 data)
+  kAdamState = 2,     // Adam step, lr, first/second moments
+  kRngState = 3,      // xoshiro256** state + Box-Muller spare
+  kBatcherState = 4,  // epoch order permutation + cursor
+  kTrainerMeta = 5,   // epoch/step counters, loss history, best-epoch metric
+  kBestSnapshot = 6,  // best-epoch parameter snapshot (early stopping)
+};
+
+/// Builds a record payload from typed fields (little-endian PODs, u32-length
+/// strings, u64-length vectors) into an in-memory buffer.
+class PayloadWriter {
+ public:
+  void U8(std::uint8_t v);
+  void U32(std::uint32_t v);
+  void I32(std::int32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v);
+  void F32(float v);
+  void F64(double v);
+  void Str(std::string_view s);                   // u32 length + bytes
+  void F32Vec(const std::vector<float>& v);       // u64 count + data
+  void F32Array(const float* data, std::size_t n);  // same layout as F32Vec
+  void F64Vec(const std::vector<double>& v);      // u64 count + data
+  void I64Vec(const std::vector<std::int64_t>& v);  // u64 count + data
+
+  const std::string& data() const { return buf_; }
+
+ private:
+  void Raw(const void* p, std::size_t n);
+  std::string buf_;
+};
+
+/// Bounds-checked mirror of PayloadWriter. Every getter returns false (and
+/// poisons the reader) on overrun; vector getters additionally reject counts
+/// larger than the remaining payload, so corrupt lengths cannot trigger huge
+/// allocations. Callers must end with AtEnd() to reject trailing bytes.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : rest_(payload) {}
+
+  bool U8(std::uint8_t* v);
+  bool U32(std::uint32_t* v);
+  bool I32(std::int32_t* v);
+  bool U64(std::uint64_t* v);
+  bool I64(std::int64_t* v);
+  bool F32(float* v);
+  bool F64(double* v);
+  bool Str(std::string* s, std::size_t max_len = 4096);
+  bool F32Vec(std::vector<float>* v);
+  bool F64Vec(std::vector<double>* v);
+  bool I64Vec(std::vector<std::int64_t>* v);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && rest_.empty(); }
+
+ private:
+  bool Raw(void* p, std::size_t n);
+  template <typename T>
+  bool Vec(std::vector<T>* v);
+
+  std::string_view rest_;
+  bool ok_ = true;
+};
+
+/// Appends one framed record (type, size, payload, CRC) to `*out`.
+void AppendRecord(std::string* out, RecordType type, std::string_view payload);
+
+/// One parsed record; `payload` points into the parsed file buffer.
+struct RecordView {
+  std::uint32_t type = kEnd;
+  std::string_view payload;
+};
+
+/// Validates an entire v2 checkpoint image — magic, version, every record
+/// CRC, the kEnd terminator, and the absence of trailing bytes — and returns
+/// views of the records (kEnd excluded). Returns false on any damage; no
+/// partial results are produced.
+bool ParseCheckpointImage(std::string_view file, std::vector<RecordView>* records);
+
+/// Serializes `module`'s parameters into a kParameters payload.
+std::string EncodeParametersPayload(const Module& module);
+
+/// Pure check: true iff `payload` is a well-formed kParameters payload whose
+/// count, names, shapes and data sizes all match `module`. Never mutates.
+bool ValidateParametersPayload(std::string_view payload, const Module& module);
+
+/// Validates a kParameters payload against `module` (count, names, shapes,
+/// data sizes) and only then copies the weights in. On any mismatch returns
+/// false with the module untouched — validation is complete before the first
+/// tensor write.
+bool ApplyParametersPayload(std::string_view payload, Module* module);
+
+/// Writes all parameters of `module` to a v2 checkpoint at `path`, atomically
+/// (tmp + fsync + rename). `fs` defaults to the real file system; tests pass
+/// a core::FaultInjectingFileSystem. Returns false on I/O failure, in which
+/// case any previous file at `path` is preserved intact.
+bool SaveParameters(const Module& module, const std::string& path,
+                    core::FileSystem* fs = nullptr);
+
+/// Loads a checkpoint written by SaveParameters (v2) or by the legacy v1
+/// writer into `module`. The whole file is validated — framing, checksums,
+/// and every parameter's name/shape — before any tensor is written, so a
+/// rejected file (corrupt, truncated, or from a different architecture)
+/// leaves the module completely unchanged. Returns false on failure.
+bool LoadParameters(Module* module, const std::string& path,
+                    core::FileSystem* fs = nullptr);
 
 }  // namespace nn
 }  // namespace dcmt

@@ -21,6 +21,30 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step = step_;
+  state.lr = lr_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+bool Adam::ImportState(const AdamState& state) {
+  if (state.step < 0) return false;
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) return false;
+  for (std::size_t k = 0; k < m_.size(); ++k) {
+    if (state.m[k].size() != m_[k].size() || state.v[k].size() != v_[k].size()) {
+      return false;
+    }
+  }
+  step_ = state.step;
+  lr_ = state.lr;
+  m_ = state.m;
+  v_ = state.v;
+  return true;
+}
+
 void Adam::Step() {
   ++step_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));

@@ -1,12 +1,23 @@
 #ifndef DCMT_OPTIM_ADAM_H_
 #define DCMT_OPTIM_ADAM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "optim/optimizer.h"
 
 namespace dcmt {
 namespace optim {
+
+/// Complete serializable Adam state. `lr` is included because per-epoch decay
+/// mutates it; restoring the state resumes the exact update sequence.
+struct AdamState {
+  std::int64_t step = 0;
+  float lr = 0.0f;
+  /// First/second moments, one vector per parameter in registration order.
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
 
 /// Adam (Kingma & Ba, 2015) — the optimizer the paper trains every model
 /// with (lr 1e-3). Weight decay here is coupled L2 (added to the gradient),
@@ -22,6 +33,14 @@ class Adam : public Optimizer {
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
   std::int64_t step_count() const { return step_; }
+
+  /// Copies out the full optimizer state for checkpointing.
+  AdamState ExportState() const;
+
+  /// Restores a state captured by ExportState(). All-or-nothing: the moment
+  /// shapes must match this optimizer's parameters exactly, otherwise the
+  /// call returns false and the optimizer is left unchanged.
+  bool ImportState(const AdamState& state);
 
  private:
   float lr_;

@@ -75,6 +75,20 @@ bool Rng::Bernoulli(float p) {
   return Uniform() < p;
 }
 
+RngState Rng::state() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.s[i] = state_[i];
+  s.has_spare_normal = has_spare_normal_;
+  s.spare_normal = spare_normal_;
+  return s;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_spare_normal_ = state.has_spare_normal;
+  spare_normal_ = state.spare_normal;
+}
+
 Rng Rng::Split(std::uint64_t stream) {
   return Rng(NextUint64() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
 }

@@ -6,6 +6,15 @@
 
 namespace dcmt {
 
+/// Complete serializable state of an Rng: restoring it resumes the stream at
+/// exactly the draw where it was captured (including the cached Box-Muller
+/// spare, which matters for bit-exact Normal() replay).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_spare_normal = false;
+  float spare_normal = 0.0f;
+};
+
 /// Deterministic pseudo-random number generator (splitmix64-seeded
 /// xoshiro256**). Every stochastic component in this library takes an explicit
 /// seed and draws from one of these, so identically-seeded runs are
@@ -50,6 +59,12 @@ class Rng {
   /// Derives an independent child generator; `stream` distinguishes children
   /// spawned from the same parent state.
   Rng Split(std::uint64_t stream);
+
+  /// Captures the full generator state for checkpointing.
+  RngState state() const;
+
+  /// Restores a state captured by state(); the stream continues bit-exactly.
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t state_[4];

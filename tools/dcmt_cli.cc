@@ -6,6 +6,7 @@
 //   dcmt_cli generate --profile=ae-es --split=train --out=train.csv
 //   dcmt_cli train    --model=dcmt --train=train.csv --ckpt=dcmt.ckpt
 //                     [--epochs=4 --lr=0.01 --lambda1=1.0 --val-fraction=0.1]
+//                     [--checkpoint-dir=ckpts --checkpoint-every=500 --resume=1]
 //   dcmt_cli evaluate --model=dcmt --ckpt=dcmt.ckpt --test=test.csv
 //   dcmt_cli predict  --model=dcmt --ckpt=dcmt.ckpt --input=test.csv
 //                     --out=preds.csv
@@ -89,7 +90,10 @@ int TrainCmd(int argc, char** argv) {
                            {"val-fraction", "0"},
                            {"patience", "0"},
                            {"seed", "7"},
-                           {"threads", "0"}});
+                           {"threads", "0"},
+                           {"checkpoint-dir", ""},
+                           {"checkpoint-every", "0"},
+                           {"resume", "0"}});
   if (flags.Get("train").empty() || flags.Get("ckpt").empty()) {
     std::fprintf(stderr, "train: --train and --ckpt are required\n");
     return 2;
@@ -111,6 +115,16 @@ int TrainCmd(int argc, char** argv) {
   config.validation_fraction = flags.GetDouble("val-fraction");
   config.early_stopping_patience = flags.GetInt("patience");
   config.verbose = true;
+  // Crash-safe training state: with --checkpoint-dir the trainer rewrites
+  // <dir>/train_state.ckpt atomically as it goes, and --resume=1 picks a run
+  // back up bit-exactly after a crash (at the same fixed thread count).
+  config.checkpoint_dir = flags.Get("checkpoint-dir");
+  config.checkpoint_every = flags.GetInt("checkpoint-every");
+  config.resume = flags.GetInt("resume") != 0;
+  if (config.resume && config.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "train: --resume requires --checkpoint-dir\n");
+    return 2;
+  }
   const eval::TrainHistory history = eval::Train(model.get(), train, config);
 
   if (!nn::SaveParameters(*model, flags.Get("ckpt"))) {

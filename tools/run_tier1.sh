@@ -15,6 +15,20 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Hardening pass: rebuild the I/O + serialization + checkpoint layer under
+# ASan/UBSan and rerun its tests. Skippable (DCMT_SKIP_SANITIZE=1) because the
+# instrumented build roughly doubles tier-1 wall time.
+if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
+  SAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$SAN_DIR" -S . \
+    -DDCMT_SANITIZE=address,undefined \
+    -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+  cmake --build "$SAN_DIR" -j "$JOBS" \
+    --target io_test serialize_test checkpoint_test
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+    -R 'Crc32|FileSystem|AtomicWrite|FaultInjection|Serialize|AdamState|Checkpoint'
+fi
+
 "$BUILD_DIR"/bench/bench_parallel_scaling \
   --benchmark_out="$BUILD_DIR"/bench_parallel_raw.json \
   --benchmark_out_format=json
