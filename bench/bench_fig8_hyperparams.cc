@@ -95,7 +95,8 @@ int main(int argc, char** argv) {
           "dcmt", train, test, config, train_config, repeats);
       std::string structure = "[";
       for (std::size_t i = 0; i < dims.size(); ++i) {
-        structure += (i > 0 ? "-" : "") + std::to_string(dims[i]);
+        if (i > 0) structure += "-";
+        structure += std::to_string(dims[i]);
       }
       structure += "]";
       table.AddRow({std::to_string(dims.size()), structure,

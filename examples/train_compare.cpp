@@ -33,8 +33,9 @@ int main(int argc, char** argv) {
 
   eval::AsciiTable table(
       {"Model", "CVR AUC", "CTCVR AUC", "CTR AUC", "train s"});
-  for (const std::string& name :
-       {"esmm", "mmoe", "escm2-ipw", "escm2-dr", "dcmt"}) {
+  const std::string names[] = {"esmm", "mmoe", "escm2-ipw", "escm2-dr",
+                               "dcmt"};
+  for (const std::string& name : names) {
     const eval::ExperimentResult r = eval::RunOfflineExperiment(
         name, train, test, model_config, train_config, /*repeats=*/1);
     table.AddRow({name, eval::AsciiTable::Num(r.cvr_auc),

@@ -66,10 +66,14 @@ struct ThreadPool::State {
   }
 };
 
+// ThreadPool owns State; the raw pointer exists precisely to keep
+// <thread>/<mutex> members out of the public header.
+// dcmt-lint: allow(raw-new-delete) — sole owning allocation, paired delete.
 ThreadPool::ThreadPool() : state_(new State) { Start(DefaultNumThreads()); }
 
 ThreadPool::~ThreadPool() {
   Stop();
+  // dcmt-lint: allow(raw-new-delete) — paired with the constructor above.
   delete state_;
 }
 

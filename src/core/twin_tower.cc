@@ -19,15 +19,23 @@ TwinTower::TwinTower(std::string name, int deep_features, int wide_features,
   const int h = shared_trunk_->out_features();
   factual_head_ = std::make_unique<nn::Linear>(name + ".head.f", h, 1, rng);
   RegisterChild(*factual_head_);
-  counter_head_ = std::make_unique<nn::Linear>(name + ".head.cf", h, 1, rng);
-  RegisterChild(*counter_head_);
+  // With the hard constraint r̂* = 1 − r̂ the counterfactual heads are bypassed
+  // entirely, so they are not built: registering parameters the loss can never
+  // reach would trip nn::CheckGraph's unreachable-param rule (DESIGN.md §11)
+  // and silently waste optimizer state.
+  if (!hard_constraint_) {
+    counter_head_ = std::make_unique<nn::Linear>(name + ".head.cf", h, 1, rng);
+    RegisterChild(*counter_head_);
+  }
   if (wide_features_ > 0) {
     factual_wide_ =
         std::make_unique<nn::Linear>(name + ".wide.f", wide_features_, 1, rng);
     RegisterChild(*factual_wide_);
-    counter_wide_ =
-        std::make_unique<nn::Linear>(name + ".wide.cf", wide_features_, 1, rng);
-    RegisterChild(*counter_wide_);
+    if (!hard_constraint_) {
+      counter_wide_ = std::make_unique<nn::Linear>(name + ".wide.cf",
+                                                   wide_features_, 1, rng);
+      RegisterChild(*counter_wide_);
+    }
   }
 }
 

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "data/batcher.h"
 #include "eval/checkpointer.h"
 #include "eval/evaluator.h"
+#include "nn/graph_check.h"
 #include "optim/adam.h"
 
 namespace dcmt {
@@ -155,6 +157,21 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       adam.ZeroGrad();
       models::Predictions preds = model->Forward(batch);
       Tensor loss = model->Loss(batch, preds);
+#ifndef NDEBUG
+      // Debug builds statically validate the very first tape of the run —
+      // shape rules, backward registration, parameter reachability, stale
+      // reuse — before any gradient is spent on a malformed graph. One batch
+      // suffices: the graph's structure is batch-independent.
+      if (history.steps == 0) {
+        const nn::GraphCheckResult check =
+            nn::CheckGraph(loss, model->parameters());
+        if (!check.ok()) {
+          std::fprintf(stderr, "[train %s] autograd tape is malformed:\n%s",
+                       model->name().c_str(), check.Report().c_str());
+          std::abort();
+        }
+      }
+#endif
       loss.Backward();
       if (config.grad_clip > 0.0f) adam.ClipGradNorm(config.grad_clip);
       adam.Step();
@@ -177,6 +194,8 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     history.epoch_loss.push_back(epoch_loss);
     history.final_epoch = epoch;
 
+    // 1.0f is the exact "decay disabled" sentinel, not a computed quantity.
+    // dcmt-lint: allow(float-eq) — exact sentinel comparison.
     if (config.lr_decay != 1.0f) {
       adam.set_lr(adam.lr() * config.lr_decay);
     }

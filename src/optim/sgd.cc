@@ -8,6 +8,7 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum, float weight_deca
       lr_(lr),
       momentum_(momentum),
       weight_decay_(weight_decay) {
+  // dcmt-lint: allow(float-eq) — 0.0f is the exact "no momentum" sentinel.
   if (momentum_ != 0.0f) {
     velocity_.reserve(params_.size());
     for (Tensor& p : params_) {
@@ -24,6 +25,7 @@ void Sgd::Step() {
     const float* g = p.grad();
     for (std::int64_t i = 0; i < p.size(); ++i) {
       float update = g[i] + weight_decay_ * w[i];
+      // dcmt-lint: allow(float-eq) — exact sentinel, as above.
       if (momentum_ != 0.0f) {
         float& v = velocity_[k][static_cast<std::size_t>(i)];
         v = momentum_ * v + update;

@@ -78,10 +78,12 @@ bool AnyRequiresGrad(const Tensor& a, const Tensor& b) {
 /// Builds a binary elementwise node. `fwd(av, bv)` computes the value;
 /// `dfda` / `dfdb` compute local partials given (av, bv, out).
 template <typename Fwd, typename DfDa, typename DfDb>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDa dfda, DfDb dfdb) {
+Tensor BinaryOp(const char* op, const Tensor& a, const Tensor& b, Fwd fwd,
+                DfDa dfda, DfDb dfdb) {
   const Broadcast kind = BroadcastKind(a, b);
   const int m = a.rows(), n = a.cols();
   Tensor out = Tensor::MakeNode(m, n, {a, b}, AnyRequiresGrad(a, b));
+  out.SetOp(op);
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -100,18 +102,18 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDa dfda, DfDb dfdb)
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([a_cap, b_cap, self, kind, m, n, dfda, dfdb]() mutable {
       const float* og = self->EnsureGrad();
-      const float* od = self->data.data();
-      const float* ad = a_cap.data();
-      const float* bd = b_cap.data();
+      const float* out_d = self->data.data();
+      const float* a_d = a_cap.data();
+      const float* b_d = b_cap.data();
       float* ag = a_cap.requires_grad() ? a_cap.impl()->EnsureGrad() : nullptr;
       float* bg = b_cap.requires_grad() ? b_cap.impl()->EnsureGrad() : nullptr;
-      const int bcols = b_cap.cols();
+      const int b_cols = b_cap.cols();
       auto element = [&](int r, int c) {
         const std::size_t i = static_cast<std::size_t>(r) * n + c;
-        const std::size_t j = BIndex(kind, r, c, bcols);
+        const std::size_t j = BIndex(kind, r, c, b_cols);
         const float g = og[i];
-        if (ag != nullptr) ag[i] += g * dfda(ad[i], bd[j], od[i]);
-        if (bg != nullptr) bg[j] += g * dfdb(ad[i], bd[j], od[i]);
+        if (ag != nullptr) ag[i] += g * dfda(a_d[i], b_d[j], out_d[i]);
+        if (bg != nullptr) bg[j] += g * dfdb(a_d[i], b_d[j], out_d[i]);
       };
       if (bg == nullptr || kind == Broadcast::kSame || kind == Broadcast::kCol) {
         // b's gradient (if any) is per-element or per-row local: partition
@@ -147,9 +149,10 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfDa dfda, DfDb dfdb)
 
 /// Builds a unary elementwise node; `dfdx(x, y)` is the local derivative.
 template <typename Fwd, typename DfDx>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, DfDx dfdx) {
+Tensor UnaryOp(const char* op, const Tensor& a, Fwd fwd, DfDx dfdx) {
   const int m = a.rows(), n = a.cols();
   Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
+  out.SetOp(op);
   const float* ad = a.data();
   float* od = out.data();
   const std::int64_t total = a.size();
@@ -161,13 +164,13 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, DfDx dfdx) {
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([a_cap, self, total, dfdx]() mutable {
       const float* og = self->EnsureGrad();
-      const float* od = self->data.data();
-      const float* ad = a_cap.data();
+      const float* out_d = self->data.data();
+      const float* a_d = a_cap.data();
       float* ag = a_cap.impl()->EnsureGrad();
       ParallelFor(0, total, kElementwiseGrain,
                   [&](std::int64_t i0, std::int64_t i1) {
                     for (std::int64_t i = i0; i < i1; ++i) {
-                      ag[i] += og[i] * dfdx(ad[i], od[i]);
+                      ag[i] += og[i] * dfdx(a_d[i], out_d[i]);
                     }
                   });
     });
@@ -181,6 +184,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) Fatal("MatMul inner dimensions mismatch");
   const int m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out = Tensor::MakeNode(m, n, {a, b}, AnyRequiresGrad(a, b));
+  out.SetOp("matmul");
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -193,6 +197,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                   float* orow = od + static_cast<std::size_t>(i) * n;
                   for (int p = 0; p < k; ++p) {
                     const float av = ad[static_cast<std::size_t>(i) * k + p];
+                    // dcmt-lint: allow(float-eq) — exact-zero skip is lossless.
                     if (av == 0.0f) continue;
                     const float* brow = bd + static_cast<std::size_t>(p) * n;
                     for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
@@ -209,7 +214,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       // parallel chunks own disjoint slabs of A's gradient rows.
       if (a_cap.requires_grad()) {
         float* ag = a_cap.impl()->EnsureGrad();
-        const float* bd = b_cap.data();
+        const float* b_d = b_cap.data();
         ParallelFor(
             0, m, RowGrain(kMatMulGrain, static_cast<std::int64_t>(k) * n),
             [&](std::int64_t i0, std::int64_t i1) {
@@ -217,7 +222,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                 const float* grow = og + static_cast<std::size_t>(i) * n;
                 float* arow = ag + static_cast<std::size_t>(i) * k;
                 for (int p = 0; p < k; ++p) {
-                  const float* brow = bd + static_cast<std::size_t>(p) * n;
+                  const float* brow = b_d + static_cast<std::size_t>(p) * n;
                   float acc = 0.0f;
                   for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
                   arow[p] += acc;
@@ -231,14 +236,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       // ascending-i order — the same order as the serial i-outer loop.
       if (b_cap.requires_grad()) {
         float* bg = b_cap.impl()->EnsureGrad();
-        const float* ad = a_cap.data();
+        const float* a_d = a_cap.data();
         ParallelFor(
             0, k, RowGrain(kMatMulGrain, static_cast<std::int64_t>(m) * n),
             [&](std::int64_t p0, std::int64_t p1) {
               for (std::int64_t p = p0; p < p1; ++p) {
                 float* brow = bg + static_cast<std::size_t>(p) * n;
                 for (int i = 0; i < m; ++i) {
-                  const float av = ad[static_cast<std::size_t>(i) * k + p];
+                  const float av = a_d[static_cast<std::size_t>(i) * k + p];
+                  // dcmt-lint: allow(float-eq) — exact-zero skip is lossless.
                   if (av == 0.0f) continue;
                   const float* grow = og + static_cast<std::size_t>(i) * n;
                   for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
@@ -253,55 +259,59 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+      "add", a, b, [](float x, float y) { return x + y; },
       [](float, float, float) { return 1.0f; },
       [](float, float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+      "sub", a, b, [](float x, float y) { return x - y; },
       [](float, float, float) { return 1.0f; },
       [](float, float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+      "mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y, float) { return y; },
       [](float x, float, float) { return x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+      "div", a, b, [](float x, float y) { return x / y; },
       [](float, float y, float) { return 1.0f / y; },
       [](float x, float y, float) { return -x / (y * y); });
 }
 
 Tensor Scale(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+      "scale", a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+      "add_scalar", a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
 }
 
 Tensor Neg(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return -x; }, [](float, float) { return -1.0f; });
+      "neg", a, [](float x) { return -x; },
+      [](float, float) { return -1.0f; });
 }
 
 Tensor OneMinus(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return 1.0f - x; }, [](float, float) { return -1.0f; });
+      "one_minus", a, [](float x) { return 1.0f - x; },
+      [](float, float) { return -1.0f; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a,
+      "sigmoid", a,
       [](float x) {
         // Numerically stable in both tails.
         if (x >= 0.0f) {
@@ -316,37 +326,37 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      "tanh", a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      "exp", a, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a, float eps) {
   return UnaryOp(
-      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      "log", a, [eps](float x) { return std::log(std::max(x, eps)); },
       [eps](float x, float) { return 1.0f / std::max(x, eps); });
 }
 
 Tensor Abs(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
+      "abs", a, [](float x) { return std::fabs(x); },
       [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 
 Tensor Softplus(const Tensor& a) {
   return UnaryOp(
-      a,
+      "softplus", a,
       [](float x) {
         // log(1+e^x) = max(x,0) + log1p(e^{-|x|}) is stable in both tails.
         return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
@@ -360,7 +370,7 @@ Tensor Softplus(const Tensor& a) {
 
 Tensor Square(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x * x; },
+      "square", a, [](float x) { return x * x; },
       [](float x, float) { return 2.0f * x; });
 }
 
@@ -375,6 +385,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     needs_grad = needs_grad || p.requires_grad();
   }
   Tensor out = Tensor::MakeNode(m, total_cols, parts, needs_grad);
+  out.SetOp("concat_cols");
   float* od = out.data();
   ParallelFor(0, m, RowGrain(kElementwiseGrain, total_cols),
               [&](std::int64_t r0, std::int64_t r1) {
@@ -425,6 +436,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
   }
   const int m = a.rows(), n = a.cols();
   Tensor out = Tensor::MakeNode(m, len, {a}, a.requires_grad());
+  out.SetOp("slice_cols");
   const float* ad = a.data();
   float* od = out.data();
   ParallelFor(0, m, RowGrain(kElementwiseGrain, len),
@@ -462,6 +474,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
     if (id < 0 || id >= v) Fatal("EmbeddingLookup id out of vocabulary range");
   }
   Tensor out = Tensor::MakeNode(b, d, {table}, table.requires_grad());
+  out.SetOp("embedding_lookup");
   const float* td = table.data();
   float* od = out.data();
   ParallelFor(0, b, RowGrain(kElementwiseGrain, d),
@@ -479,7 +492,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
     out.SetBackwardFn([table_cap, self, ids_cap, b, d]() mutable {
       const float* og = self->EnsureGrad();
       float* tg = table_cap.impl()->EnsureGrad();
-      const int v = table_cap.rows();
+      const int vocab = table_cap.rows();
       // Vocab-range sharding avoids scatter races without per-thread
       // buffers: each chunk owns table rows [v0, v1) and scans the whole
       // batch for ids in its range. Every table row thus accumulates its
@@ -489,9 +502,9 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
       // small batches stay serial.
       const std::int64_t scatter_work = static_cast<std::int64_t>(b) * d;
       const std::int64_t grain_rows = std::max<std::int64_t>(
-          1, static_cast<std::int64_t>(v) * kElementwiseGrain /
+          1, static_cast<std::int64_t>(vocab) * kElementwiseGrain /
                  std::max<std::int64_t>(1, scatter_work));
-      ParallelFor(0, v, grain_rows, [&](std::int64_t v0, std::int64_t v1) {
+      ParallelFor(0, vocab, grain_rows, [&](std::int64_t v0, std::int64_t v1) {
         for (int r = 0; r < b; ++r) {
           const int id = ids_cap[static_cast<std::size_t>(r)];
           if (id < v0 || id >= v1) continue;
@@ -507,6 +520,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
 
 Tensor Sum(const Tensor& a) {
   Tensor out = Tensor::MakeNode(1, 1, {a}, a.requires_grad());
+  out.SetOp("sum");
   const float* ad = a.data();
   const std::int64_t total = a.size();
   // Deterministic tree reduction: fixed chunk layout, one double partial per
@@ -544,6 +558,7 @@ Tensor Mean(const Tensor& a) {
 Tensor SumRows(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = Tensor::MakeNode(m, 1, {a}, a.requires_grad());
+  out.SetOp("sum_rows");
   const float* ad = a.data();
   float* od = out.data();
   ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
@@ -576,6 +591,7 @@ Tensor SumRows(const Tensor& a) {
 Tensor SoftmaxRows(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
+  out.SetOp("softmax_rows");
   const float* ad = a.data();
   float* od = out.data();
   ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
@@ -599,13 +615,13 @@ Tensor SoftmaxRows(const Tensor& a) {
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([a_cap, self, m, n]() mutable {
       const float* og = self->EnsureGrad();
-      const float* od = self->data.data();
+      const float* out_d = self->data.data();
       float* ag = a_cap.impl()->EnsureGrad();
       ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
                   [&](std::int64_t r0, std::int64_t r1) {
                     for (std::int64_t r = r0; r < r1; ++r) {
                       const float* grow = og + static_cast<std::size_t>(r) * n;
-                      const float* yrow = od + static_cast<std::size_t>(r) * n;
+                      const float* yrow = out_d + static_cast<std::size_t>(r) * n;
                       float* arow = ag + static_cast<std::size_t>(r) * n;
                       float dot = 0.0f;
                       for (int c = 0; c < n; ++c) dot += grow[c] * yrow[c];
@@ -624,6 +640,7 @@ Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
   if (eps <= 0.0f) Fatal("BceLoss eps must be positive");
   const int m = pred.rows(), n = pred.cols();
   Tensor out = Tensor::MakeNode(m, n, {pred, target}, AnyRequiresGrad(pred, target));
+  out.SetOp("bce_loss");
   const float* pd = pred.data();
   const float* yd = target.data();
   float* od = out.data();
@@ -639,17 +656,17 @@ Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
     Tensor::Impl* self = out.impl();
     out.SetBackwardFn([pred_cap, target_cap, self, total, eps]() mutable {
       const float* og = self->EnsureGrad();
-      const float* pd = pred_cap.data();
-      const float* yd = target_cap.data();
+      const float* p_d = pred_cap.data();
+      const float* y_d = target_cap.data();
       float* pg = pred_cap.requires_grad() ? pred_cap.impl()->EnsureGrad() : nullptr;
       float* tg = target_cap.requires_grad() ? target_cap.impl()->EnsureGrad() : nullptr;
       ParallelFor(0, total, kElementwiseGrain,
                   [&](std::int64_t i0, std::int64_t i1) {
                     for (std::int64_t i = i0; i < i1; ++i) {
-                      const float p = std::clamp(pd[i], eps, 1.0f - eps);
+                      const float p = std::clamp(p_d[i], eps, 1.0f - eps);
                       // d/dp [-y log p - (1-y) log(1-p)] = (p - y) / (p (1-p))
                       if (pg != nullptr) {
-                        pg[i] += og[i] * (p - yd[i]) / (p * (1.0f - p));
+                        pg[i] += og[i] * (p - y_d[i]) / (p * (1.0f - p));
                       }
                       // d/dy [-y log p - (1-y) log(1-p)] = log((1-p)/p)
                       if (tg != nullptr) {

@@ -55,6 +55,13 @@ void Tensor::SetBackwardFn(std::function<void()> fn) {
   impl_->backward_fn = std::move(fn);
 }
 
+void Tensor::SetOp(const char* op) {
+  if (!impl_) Fatal("SetOp on null tensor");
+  impl_->op = op;
+}
+
+const char* Tensor::op() const { return impl_ ? impl_->op : nullptr; }
+
 Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
   return Tensor(NewImpl(rows, cols, requires_grad));
 }
@@ -201,7 +208,10 @@ void Tensor::Backward() {
   // Children come after parents in `order`, so walk it backwards.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Impl* node = *it;
-    if (node->backward_fn && node->requires_grad) node->backward_fn();
+    if (node->backward_fn && node->requires_grad) {
+      node->backward_fn();
+      node->backward_ran = true;
+    }
   }
 }
 

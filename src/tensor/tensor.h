@@ -118,6 +118,12 @@ class Tensor {
   /// Creates a graph-internal tensor with given parents and backward closure.
   static Tensor MakeNode(int rows, int cols, std::vector<Tensor> parents,
                          bool requires_grad);
+  /// Tags the node with the operator that produced it ("matmul", "add", ...).
+  /// Consumed by nn::GraphCheck to validate per-op shape rules; a null tag
+  /// means "opaque node" and only generic structural checks apply.
+  void SetOp(const char* op);
+  /// Operator tag set via SetOp, or nullptr for leaves / opaque nodes.
+  const char* op() const;
   /// Sets the backward closure of a node created by MakeNode.
   ///
   /// OWNERSHIP RULE: the closure is stored inside this tensor's Impl, so it
@@ -147,6 +153,12 @@ struct Tensor::Impl {
   // Graph structure. Leaves have no parents and no backward_fn.
   std::vector<Tensor> parents;
   std::function<void()> backward_fn;
+  /// Operator tag ("matmul", ...) for graph validation; nullptr on leaves.
+  const char* op = nullptr;
+  /// Set once Backward() has executed this node's closure. A later backward
+  /// pass reaching the node again would double-accumulate gradients;
+  /// nn::GraphCheck reports such stale-tape reuse before it corrupts a run.
+  bool backward_ran = false;
 
   /// Gradient buffer, zero-allocated on first use.
   float* EnsureGrad() {

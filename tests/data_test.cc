@@ -45,8 +45,12 @@ TEST(DatasetTest, StatsCountsAreConsistent) {
 
 TEST(DatasetTest, ConversionImpliesClick) {
   data::SyntheticLogGenerator gen(SmallProfile());
-  for (const data::Example& e : gen.GenerateTrain().examples()) {
-    if (e.conversion == 1) EXPECT_EQ(e.click, 1);
+  // Bind the dataset: ranging over a temporary's examples() would dangle.
+  const data::Dataset train = gen.GenerateTrain();
+  for (const data::Example& e : train.examples()) {
+    if (e.conversion == 1) {
+      EXPECT_EQ(e.click, 1);
+    }
   }
 }
 
@@ -282,8 +286,8 @@ TEST_P(ProfilePropertyTest, DeterministicStats) {
 INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfilePropertyTest,
                          ::testing::Values("ali-ccp", "ae-es", "ae-fr", "ae-nl",
                                            "ae-us", "alipay-search"),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

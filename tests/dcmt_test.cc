@@ -146,8 +146,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllVariants, DcmtVariantTest,
     ::testing::Values(core::Dcmt::Variant::kFull, core::Dcmt::Variant::kPd,
                       core::Dcmt::Variant::kCf),
-    [](const ::testing::TestParamInfo<core::Dcmt::Variant>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<core::Dcmt::Variant>& param_info) {
+      switch (param_info.param) {
         case core::Dcmt::Variant::kFull:
           return "full";
         case core::Dcmt::Variant::kPd:

@@ -3,6 +3,8 @@
 // debiasing machinery moves predictions the way the paper claims, and that
 // the whole pipeline is deterministic.
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "core/dcmt.h"
@@ -50,22 +52,20 @@ class TrainedModelTest : public ::testing::TestWithParam<std::string> {
  protected:
   static void SetUpTestSuite() {
     data::SyntheticLogGenerator gen(ItProfile());
-    train_ = new data::Dataset(gen.GenerateTrain());
-    test_ = new data::Dataset(gen.GenerateTest());
+    train_ = std::make_unique<data::Dataset>(gen.GenerateTrain());
+    test_ = std::make_unique<data::Dataset>(gen.GenerateTest());
   }
   static void TearDownTestSuite() {
-    delete train_;
-    delete test_;
-    train_ = nullptr;
-    test_ = nullptr;
+    train_.reset();
+    test_.reset();
   }
 
-  static data::Dataset* train_;
-  static data::Dataset* test_;
+  static std::unique_ptr<data::Dataset> train_;
+  static std::unique_ptr<data::Dataset> test_;
 };
 
-data::Dataset* TrainedModelTest::train_ = nullptr;
-data::Dataset* TrainedModelTest::test_ = nullptr;
+std::unique_ptr<data::Dataset> TrainedModelTest::train_;
+std::unique_ptr<data::Dataset> TrainedModelTest::test_;
 
 TEST_P(TrainedModelTest, LearnsAboveChance) {
   auto model = core::CreateModel(GetParam(), train_->schema(), ItConfig());
@@ -79,8 +79,8 @@ TEST_P(TrainedModelTest, LearnsAboveChance) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, TrainedModelTest,
                          ::testing::ValuesIn(core::AllModelNames()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

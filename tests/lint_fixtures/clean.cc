@@ -1,0 +1,16 @@
+// Fixture: a well-behaved file — zero findings expected. Exercises the
+// comment/string stripper: "std::mutex in a string" and commented-out
+// violations below must not trip any rule.
+#include <memory>
+#include <vector>
+
+// int* leak = new int(5);  (commented out — not a finding)
+const char* kBanner = "uses std::mutex and rand() only inside a string == ok";
+
+int Sum(const std::vector<int>& v) {
+  int total = 0;
+  for (int x : v) total += x;
+  return total;
+}
+
+std::unique_ptr<int> Box(int v) { return std::make_unique<int>(v); }

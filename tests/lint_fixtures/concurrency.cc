@@ -1,0 +1,9 @@
+// Fixture: seeded `concurrency` violations — the header include and the
+// std:: token should each be flagged when linted outside src/core/.
+#include <mutex>
+
+void Locked() {
+  std::mutex m;
+  m.lock();
+  m.unlock();
+}

@@ -1,0 +1,6 @@
+// Fixture: seeded `duplicate-include` violation — <vector> spelled twice.
+#include <vector>
+#include <string>
+#include <vector>
+
+std::vector<std::string> Names() { return {}; }

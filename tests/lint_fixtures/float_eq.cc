@@ -1,0 +1,5 @@
+// Fixture: seeded `float-eq` violation — exact comparison against a float
+// literal. Integer comparisons must NOT be flagged.
+bool IsHalf(float x) { return x == 0.5f; }
+
+bool IsThree(int n) { return n == 3; }

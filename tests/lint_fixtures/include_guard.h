@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Fixture: seeded `include-guard` violation — the guard macro does not match
+// the DCMT_<PATH>_H_ convention for the path this file is linted under.
+
+#endif  // WRONG_GUARD_H

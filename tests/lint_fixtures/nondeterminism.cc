@@ -1,0 +1,8 @@
+// Fixture: seeded `nondeterminism` violations — a libc entropy call and an
+// unseeded standard-library engine type.
+#include <cstdlib>
+#include <random>
+
+int Roll() { return rand() % 6; }
+
+std::mt19937 engine;

@@ -1,0 +1,9 @@
+// Fixture: seeded `raw-new-delete` violations — one naked new, one naked
+// delete. `= delete` on the declaration must NOT be flagged.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+};
+
+int* Make() { return new int(3); }
+
+void Free(int* p) { delete p; }

@@ -1,0 +1,4 @@
+// Fixture: linted under the path tests/unregistered_test.cc against a
+// CMakeLists.txt that never calls dcmt_add_test(unregistered_test) — the
+// `test-registration` rule must fire.
+int main() { return 0; }

@@ -1,0 +1,5 @@
+// Fixture: waiver scoping — the first comparison is waived (directive on the
+// line directly above), the second is identical but unwaived and must fire.
+// dcmt-lint: allow(float-eq) fixture waiver covering only the next line
+bool IsZero(float x) { return x == 0.0f; }
+bool IsOne(float x) { return x == 1.0f; }

@@ -145,8 +145,8 @@ TEST_P(ModelZooTest, WorksWithoutWideFeatures) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooTest,
                          ::testing::ValuesIn(core::ExtendedModelNames()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -12,6 +12,9 @@
 // SetGrainCapForTesting(1) forces multi-chunk partitions on the small
 // tensors used here, so the threaded code paths genuinely execute.
 
+// This suite stress-tests the ThreadPool itself; std::atomic provides the
+// independent race-free hit counters.
+// dcmt-lint: allow(concurrency) — pool test needs its own atomics.
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -64,6 +67,7 @@ TEST(ThreadPool, DefaultNumThreadsHonorsEnv) {
 TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   ScopedParallelConfig config(/*threads=*/4, /*grain_cap=*/1);
   constexpr int kRange = 1000;
+  // dcmt-lint: allow(concurrency) — independent counters for the pool test.
   std::vector<std::atomic<int>> hits(kRange);
   for (auto& h : hits) h = 0;
   ParallelFor(0, kRange, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
@@ -113,6 +117,7 @@ TEST(ParallelKernels, SingleThreadMatMulMatchesSerialReference) {
   for (int i = 0; i < m; ++i) {
     for (int p = 0; p < k; ++p) {
       const float av = a.data()[i * k + p];
+      // dcmt-lint: allow(float-eq) — mirrors the kernel's exact-zero skip.
       if (av == 0.0f) continue;
       for (int j = 0; j < n; ++j) expect[i * n + j] += av * b.data()[p * n + j];
     }

@@ -329,8 +329,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllBroadcastKinds, BroadcastGradTest,
     ::testing::Values(BroadcastCase{3, 4, "same"}, BroadcastCase{1, 4, "row"},
                       BroadcastCase{3, 1, "col"}, BroadcastCase{1, 1, "scalar"}),
-    [](const ::testing::TestParamInfo<BroadcastCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<BroadcastCase>& param_info) {
+      return param_info.param.label;
     });
 
 TEST(GradCheck, UnaryOps) {

@@ -1,0 +1,181 @@
+// Concurrency stress suite, built to run under ThreadSanitizer
+// (-DDCMT_SANITIZE=thread; see tools/run_tier1.sh). The tests are ordinary
+// correctness checks in a plain build, but their real job is to generate
+// enough genuinely concurrent pool traffic that TSan can observe every
+// synchronization edge the runtime claims to have: pool startup/teardown,
+// RunShards hand-off and join, the nested-parallelism guard, pool resizing
+// between bursts, and concurrent experiment repeats sharing tensor kernels.
+
+// This suite stress-tests the ThreadPool itself; std::atomic provides the
+// independent race-free accumulators the assertions need.
+// dcmt-lint: allow(concurrency) — pool stress test needs its own atomics.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dcmt.h"
+#include "core/thread_pool.h"
+#include "data/profiles.h"
+#include "eval/experiment.h"
+#include "eval/trainer.h"
+#include "tensor/ops.h"
+
+namespace dcmt {
+namespace {
+
+using core::ParallelFor;
+using core::ParallelForChunks;
+using core::SetGrainCapForTesting;
+using core::ThreadPool;
+
+/// RAII: configure (threads, grain cap) for a test, restore serial after.
+class ScopedParallelConfig {
+ public:
+  ScopedParallelConfig(int threads, std::int64_t grain_cap) {
+    ThreadPool::Global().SetNumThreads(threads);
+    SetGrainCapForTesting(grain_cap);
+  }
+  ~ScopedParallelConfig() {
+    SetGrainCapForTesting(0);
+    ThreadPool::Global().SetNumThreads(1);
+  }
+};
+
+TEST(TsanStress, RepeatedParallelForBursts) {
+  ScopedParallelConfig config(/*threads=*/4, /*grain_cap=*/1);
+  constexpr int kRange = 512;
+  constexpr int kBursts = 50;
+  std::vector<float> sink(kRange, 0.0f);
+  for (int burst = 0; burst < kBursts; ++burst) {
+    // Disjoint writes to a shared buffer: any missing happens-before edge
+    // between the dispatch and the join shows up as a TSan data race.
+    ParallelFor(0, kRange, /*grain=*/8, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        sink[static_cast<std::size_t>(i)] += 1.0f;
+      }
+    });
+  }
+  for (int i = 0; i < kRange; ++i) {
+    ASSERT_EQ(sink[i], static_cast<float>(kBursts)) << "index " << i;
+  }
+}
+
+TEST(TsanStress, RunShardsHandsEachShardToExactlyOneThread) {
+  ScopedParallelConfig config(4, 1);
+  constexpr int kIters = 100;
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<int> total{0};
+  for (int it = 0; it < kIters; ++it) {
+    ThreadPool::Global().RunShards(4, [&](int shard) {
+      total.fetch_add(shard + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), kIters * (1 + 2 + 3 + 4));
+}
+
+TEST(TsanStress, NestedParallelismStaysInlineOnEveryWorker) {
+  ScopedParallelConfig config(4, 1);
+  // Every shard issues nested ParallelFors; the guard must keep them inline
+  // on the issuing worker (no re-entry into the pool, no deadlock, no race
+  // on the shared dispatch state).
+  for (int round = 0; round < 20; ++round) {
+    // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+    std::atomic<int> nested_calls{0};
+    ThreadPool::Global().RunShards(4, [&](int) {
+      EXPECT_TRUE(ThreadPool::InParallelRegion());
+      ParallelFor(0, 64, 1, [&](std::int64_t lo, std::int64_t hi) {
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 64);
+        nested_calls.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    EXPECT_EQ(nested_calls.load(), 4);
+  }
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(TsanStress, PoolResizeBetweenBursts) {
+  // Start/stop churn: every resize tears down workers and spins up new ones;
+  // TSan verifies the join edges on both sides of each transition.
+  const int sizes[] = {1, 4, 2, 3, 1, 4};
+  for (int n : sizes) {
+    ThreadPool::Global().SetNumThreads(n);
+    SetGrainCapForTesting(1);
+    // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+    std::atomic<std::int64_t> sum{0};
+    ParallelFor(0, 256, 4, [&](std::int64_t lo, std::int64_t hi) {
+      std::int64_t local = 0;
+      for (std::int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 255 * 256 / 2);
+  }
+  SetGrainCapForTesting(0);
+  ThreadPool::Global().SetNumThreads(1);
+}
+
+TEST(TsanStress, ChunkIndexedReductionBuffers) {
+  ScopedParallelConfig config(4, 1);
+  // The ParallelForChunks contract: chunk indices are dense and unique, so
+  // chunk-indexed partial buffers need no synchronization. TSan confirms the
+  // "no synchronization needed" claim is actually race-free.
+  for (int round = 0; round < 25; ++round) {
+    const int chunks = core::ParallelChunks(1000, 1);
+    ASSERT_GT(chunks, 1);
+    std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+    ParallelForChunks(0, 1000, 1,
+                      [&](int chunk, std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          partial[static_cast<std::size_t>(chunk)] +=
+                              static_cast<double>(i);
+                        }
+                      });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    EXPECT_EQ(total, 999.0 * 1000.0 / 2.0);
+  }
+}
+
+TEST(TsanStress, TensorKernelsUnderLoad) {
+  ScopedParallelConfig config(4, 1);
+  // Forward+backward through every threaded kernel family, repeatedly, so
+  // TSan sees the real dispatch patterns (matmul tiling, elementwise maps,
+  // embedding scatter, chunked reductions) rather than toy loops.
+  Rng rng(41);
+  Tensor table = Tensor::Randn(13, 6, 1.0f, &rng, /*requires_grad=*/true);
+  const std::vector<int> ids = {3, 7, 3, 0, 12, 3, 7, 0, 1, 5, 9, 3};
+  for (int round = 0; round < 10; ++round) {
+    Tensor a = Tensor::Randn(12, 9, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn(9, 6, 1.0f, &rng, /*requires_grad=*/true);
+    Tensor x = ops::EmbeddingLookup(table, ids);
+    Tensor h = ops::Sigmoid(ops::Add(ops::MatMul(ops::Tanh(a), b), x));
+    Tensor loss = ops::Sum(ops::Square(ops::SoftmaxRows(h)));
+    loss.Backward();
+    ASSERT_TRUE(table.has_grad());
+    table.ZeroGrad();
+  }
+}
+
+TEST(TsanStress, ConcurrentExperimentRepeats) {
+  // Concurrent repeats share the pool with the tensor kernels they launch;
+  // the nested guard must keep each repeat's math inline on its worker.
+  data::DatasetProfile profile = data::AeEsProfile();
+  profile.train_exposures = 800;
+  profile.test_exposures = 400;
+  data::SyntheticLogGenerator generator(profile);
+  const data::Dataset train = generator.GenerateTrain();
+  const data::Dataset test = generator.GenerateTest();
+  models::ModelConfig mc;
+  eval::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 256;
+  ScopedParallelConfig config(4, 0);
+  const eval::ExperimentResult result =
+      eval::RunOfflineExperiment("dcmt", train, test, mc, tc, /*repeats=*/4);
+  EXPECT_EQ(result.runs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dcmt

@@ -21,6 +21,8 @@
 #include <map>
 #include <sstream>
 #include <string>
+// Only reads hardware_concurrency() for bench metadata; no threads made.
+// dcmt-lint: allow(concurrency) — metadata read only.
 #include <thread>
 #include <vector>
 
@@ -142,6 +144,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_to_json: cannot write %s\n", argv[2]);
     return 1;
   }
+  // dcmt-lint: allow(concurrency) — metadata read, no thread is created.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   out << "{\n";
   out << "  \"generated_by\": \"bench_parallel_scaling + tools/bench_to_json\",\n";

@@ -1,0 +1,46 @@
+// dcmt_lint — project-specific C++ linter (see tools/lint/linter.h for the
+// rule set). Runs as a ctest entry and as a run_tier1.sh stage:
+//
+//   dcmt_lint --root=/path/to/repo src tests tools
+//
+// Prints one "file:line: rule: message" diagnostic per finding and exits
+// nonzero if anything (unwaived) was found.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: dcmt_lint [--root=DIR] [paths...]\n"
+                   "paths default to: src tests tools\n");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "tools"};
+
+  const std::vector<dcmt::lint::Diagnostic> diags =
+      dcmt::lint::LintTree(root, paths);
+  for (const dcmt::lint::Diagnostic& d : diags) {
+    std::fprintf(stderr, "%s\n", d.ToString().c_str());
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "dcmt_lint: %zu finding(s)\n", diags.size());
+    return 1;
+  }
+  std::printf("dcmt_lint: clean\n");
+  return 0;
+}

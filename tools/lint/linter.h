@@ -1,0 +1,72 @@
+#ifndef DCMT_TOOLS_LINT_LINTER_H_
+#define DCMT_TOOLS_LINT_LINTER_H_
+
+// dcmt_lint — dependency-free, token-level linter enforcing this repo's
+// engineering invariants (DESIGN.md §11). It is deliberately not a compiler
+// plugin: the rules below are all decidable from a comment/string-stripped
+// token stream plus file paths, which keeps the tool a single translation
+// unit that builds in under a second and runs on every commit.
+//
+// Rules (ids are stable; waivers reference them):
+//   concurrency       std::thread / std::mutex / std::atomic /
+//                     std::condition_variable (and their headers) outside
+//                     src/core/ — core::ThreadPool is the only sanctioned
+//                     concurrency runtime (DESIGN.md §9).
+//   raw-new-delete    naked `new` / `delete` expressions; ownership lives in
+//                     containers, smart pointers, or a type that pairs the
+//                     two inside its own constructor/destructor (waive at
+//                     the pairing site).
+//   float-eq          `==` / `!=` with a floating-point literal operand.
+//                     Exact float comparisons are occasionally right (bit-
+//                     reproducibility contracts, skip-zero fast paths) —
+//                     those sites carry a waiver explaining why.
+//   nondeterminism    rand() / srand() / time() / clock() /
+//                     std::random_device / std::mt19937 outside
+//                     src/tensor/random.* — all randomness flows through the
+//                     seeded dcmt::Rng so runs stay reproducible.
+//   include-guard     headers must guard with DCMT_<PATH>_H_ derived from
+//                     their repo-relative path.
+//   duplicate-include the same #include spelled twice in one file.
+//   test-registration every tests/*_test.cc is registered via
+//                     dcmt_add_test() in tests/CMakeLists.txt, so no suite
+//                     silently falls out of ctest.
+//
+// Waiver syntax (same line or the line directly above the finding):
+//   // dcmt-lint: allow(rule[,rule...]) <justification>
+// The justification is mandatory by convention and enforced by review, not
+// by the tool.
+
+#include <string>
+#include <vector>
+
+namespace dcmt {
+namespace lint {
+
+/// One finding, printable as "file:line: rule: message".
+struct Diagnostic {
+  std::string file;  // repo-relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Lints one file given its repo-relative path (rules are path-sensitive)
+/// and raw contents. `tests_cmake` is the text of tests/CMakeLists.txt (used
+/// by test-registration; pass "" to skip that rule).
+std::vector<Diagnostic> LintFileContent(const std::string& repo_rel_path,
+                                        const std::string& content,
+                                        const std::string& tests_cmake);
+
+/// Recursively lints every .cc/.h under `paths` (repo-relative, resolved
+/// against `root`). Skips build trees and tests/lint_fixtures/ (fixtures
+/// contain deliberate violations and are linted explicitly by lint_test).
+/// Returns all findings sorted by (file, line).
+std::vector<Diagnostic> LintTree(const std::string& root,
+                                 const std::vector<std::string>& paths);
+
+}  // namespace lint
+}  // namespace dcmt
+
+#endif  // DCMT_TOOLS_LINT_LINTER_H_

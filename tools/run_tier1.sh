@@ -11,9 +11,17 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . -DDCMT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Static analysis: the project linter must report a clean tree (DESIGN.md
+# §11). Also covered by the dcmt_lint_tree ctest entry; running it
+# standalone here gives a readable diagnostic list on failure. Skippable
+# with DCMT_SKIP_LINT=1.
+if [[ "${DCMT_SKIP_LINT:-0}" != "1" ]]; then
+  "$BUILD_DIR"/tools/dcmt_lint --root=. src tests tools
+fi
 
 # Hardening pass: rebuild the I/O + serialization + checkpoint layer under
 # ASan/UBSan and rerun its tests. Skippable (DCMT_SKIP_SANITIZE=1) because the
@@ -27,6 +35,21 @@ if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
     --target io_test serialize_test checkpoint_test
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
     -R 'Crc32|FileSystem|AtomicWrite|FaultInjection|Serialize|AdamState|Checkpoint'
+fi
+
+# Race detection: rebuild the concurrency-heavy suites under ThreadSanitizer
+# and run them. TSan is incompatible with ASan, so it gets its own tree.
+# Skippable (DCMT_SKIP_TSAN=1) — the instrumented run is the slowest stage.
+if [[ "${DCMT_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . \
+    -DDCMT_SANITIZE=thread \
+    -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target tsan_stress_test parallel_test
+  TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+    -R 'TsanStress|ThreadPool|ParallelKernels|ParallelTraining|ParallelExperiment'
 fi
 
 "$BUILD_DIR"/bench/bench_parallel_scaling \
