@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/obs.h"
 #include "tensor/ops.h"
 
 namespace dcmt {
@@ -94,6 +95,43 @@ Tensor Dcmt::CvrTaskLoss(const data::Batch& batch,
       ++n_nonclicked;
     }
   }
+  if (obs::Enabled()) {
+    // Propensity / IPW telemetry (DESIGN.md §12): distribution drift in the
+    // debiasing weights is the main silent failure mode of Eq. 8/13, so the
+    // clip hit rate, the propensity distribution and the factual vs
+    // counterfactual weight mass are exported per loss evaluation. Runs as
+    // a separate pass so the disabled path costs one branch.
+    static obs::Counter obs_prop_observations =
+        obs::Registry::Global().counter("dcmt_cvr_propensity_observations_total");
+    static obs::Counter obs_clip_low =
+        obs::Registry::Global().counter("dcmt_cvr_propensity_clip_low_total");
+    static obs::Counter obs_clip_high =
+        obs::Registry::Global().counter("dcmt_cvr_propensity_clip_high_total");
+    static obs::Counter obs_clicked =
+        obs::Registry::Global().counter("dcmt_cvr_examples_clicked_total");
+    static obs::Counter obs_nonclicked =
+        obs::Registry::Global().counter("dcmt_cvr_examples_nonclicked_total");
+    static obs::Histogram obs_propensity =
+        obs::Registry::Global().histogram("dcmt_cvr_propensity", 32, 0.0, 1.0);
+    static obs::Gauge obs_mass_factual =
+        obs::Registry::Global().gauge("dcmt_cvr_weight_mass_factual_last");
+    static obs::Gauge obs_mass_counter =
+        obs::Registry::Global().gauge("dcmt_cvr_weight_mass_counterfactual_last");
+    std::int64_t clip_low = 0, clip_high = 0;
+    for (int i = 0; i < b; ++i) {
+      if (p[i] < clip) ++clip_low;
+      if (p[i] > 1.0f - clip) ++clip_high;
+      obs_propensity.Observe(static_cast<double>(p[i]));
+    }
+    obs_prop_observations.Inc(b);
+    obs_clip_low.Inc(clip_low);
+    obs_clip_high.Inc(clip_high);
+    obs_clicked.Inc(n_clicked);
+    obs_nonclicked.Inc(n_nonclicked);
+    obs_mass_factual.Set(factual_norm);
+    obs_mass_counter.Set(counter_norm);
+  }
+
   const bool self_normalize = config_.self_normalize || variant_ == Variant::kCf;
   const double f_div = self_normalize ? factual_norm : static_cast<double>(b);
   const double c_div = self_normalize ? counter_norm : static_cast<double>(b);

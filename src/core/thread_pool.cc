@@ -5,9 +5,12 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/obs.h"
 
 namespace dcmt {
 namespace core {
@@ -112,22 +115,48 @@ void ThreadPool::SetNumThreads(int n) {
 }
 
 void ThreadPool::RunShards(int shards, const std::function<void(int)>& fn) {
+  static obs::Counter obs_inline_runs =
+      obs::Registry::Global().counter("dcmt_pool_inline_runs_total");
+  static obs::Counter obs_dispatches =
+      obs::Registry::Global().counter("dcmt_pool_dispatch_total");
+  static obs::Counter obs_shards_executed =
+      obs::Registry::Global().counter("dcmt_pool_shards_executed_total");
+  static obs::Sum obs_busy_seconds =
+      obs::Registry::Global().sum("dcmt_pool_busy_seconds_total");
+
   if (shards > num_threads_) Fatal("RunShards wants more shards than threads");
   if (shards <= 1 || tls_in_parallel_region) {
     // Serial / nested fallback: run every shard in order on this thread.
+    obs_inline_runs.Inc();
     for (int s = 0; s < shards; ++s) fn(s);
     return;
   }
+  obs_dispatches.Inc();
+  obs_shards_executed.Inc(shards);
+
+  // With observability on, wrap the job so each shard accumulates its wall
+  // time into the sharded busy-seconds sum. The wrapper exists only while
+  // recording; the disabled path posts `fn` untouched.
+  const std::function<void(int)>* job = &fn;
+  std::function<void(int)> timed_fn;
+  if (obs::Enabled()) {
+    timed_fn = [&fn](int s) {
+      const std::int64_t t0 = obs::NowNanos();
+      fn(s);
+      obs_busy_seconds.Add(static_cast<double>(obs::NowNanos() - t0) * 1e-9);
+    };
+    job = &timed_fn;
+  }
   {
     std::lock_guard<std::mutex> lock(state_->mu);
-    state_->job = &fn;
+    state_->job = job;
     state_->job_shards = shards;
     state_->pending = shards - 1;
     ++state_->generation;
   }
   state_->work_cv.notify_all();
   tls_in_parallel_region = true;
-  fn(0);
+  (*job)(0);
   tls_in_parallel_region = false;
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->done_cv.wait(lock, [&] { return state_->pending == 0; });

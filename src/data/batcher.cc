@@ -69,6 +69,9 @@ Batcher::Batcher(const Dataset* dataset, int batch_size, Rng* rng)
   }
   order_.resize(static_cast<std::size_t>(dataset_->size()));
   std::iota(order_.begin(), order_.end(), 0);
+  // The first epoch's one and only shuffle. fresh_epoch_ is true, so the
+  // first Next() cannot reshuffle again: SaveState() taken right after
+  // construction captures exactly the order the first epoch trains on.
   ShuffleIfNeeded();
 }
 
@@ -79,11 +82,15 @@ void Batcher::ShuffleIfNeeded() {
 bool Batcher::Next(Batch* batch) {
   if (cursor_ >= dataset_->size()) {
     // Epoch finished: report end once, then lazily start the next epoch.
+    // This is the single site that clears fresh_epoch_; it used to also be
+    // cleared as the last batch was handed out, which made Rewind() after a
+    // completed epoch reshuffle instead of replaying.
     cursor_ = 0;
     fresh_epoch_ = false;
     return false;
   }
   if (!fresh_epoch_ && cursor_ == 0) {
+    // Lazy epoch start: the one reshuffle site after construction.
     ShuffleIfNeeded();
     fresh_epoch_ = true;
   }
@@ -92,7 +99,6 @@ bool Batcher::Next(Batch* batch) {
   *batch = MakeBatch(dataset_->examples(), order_, cursor_, count,
                      dataset_->schema());
   cursor_ += count;
-  if (cursor_ >= dataset_->size()) fresh_epoch_ = false;
   return true;
 }
 

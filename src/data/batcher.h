@@ -65,8 +65,12 @@ class Batcher {
   /// (after which the next call starts a fresh, reshuffled epoch).
   bool Next(Batch* batch);
 
-  /// Restarts the current epoch from the beginning (no reshuffle).
-  void Rewind() { cursor_ = 0; }
+  /// Restarts the current epoch from the beginning (no reshuffle): the next
+  /// Next() replays order_ as-is, even right after an epoch boundary.
+  void Rewind() {
+    cursor_ = 0;
+    fresh_epoch_ = true;
+  }
 
   std::int64_t batches_per_epoch() const;
 
@@ -87,6 +91,11 @@ class Batcher {
   Rng* rng_;
   std::vector<std::int64_t> order_;
   std::int64_t cursor_ = 0;
+  /// True while order_ is the epoch the caller should (re)play from cursor 0
+  /// without a reshuffle. Cleared in exactly one place — the epoch-end branch
+  /// of Next() — and set again by the lazy reshuffle, the constructor,
+  /// Rewind(), and RestoreState(). Keeping a single clear site is what makes
+  /// "each epoch is shuffled exactly once" auditable.
   bool fresh_epoch_ = true;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/obs.h"
 #include "nn/serialize.h"
 
 namespace dcmt {
@@ -177,6 +178,17 @@ Checkpointer::Checkpointer(std::string dir, core::FileSystem* fs)
 
 bool Checkpointer::Save(const nn::Module& module,
                         const TrainCheckpointState& state) {
+  static obs::Counter obs_saves =
+      obs::Registry::Global().counter("dcmt_checkpoint_saves_total");
+  static obs::Counter obs_save_failures =
+      obs::Registry::Global().counter("dcmt_checkpoint_save_failures_total");
+  static obs::Counter obs_bytes_written =
+      obs::Registry::Global().counter("dcmt_checkpoint_bytes_written_total");
+  static obs::Sum obs_save_seconds =
+      obs::Registry::Global().sum("dcmt_checkpoint_save_seconds_total");
+  obs::TraceSpan span("checkpoint/save");
+  const std::int64_t t0 = obs::NowNanos();
+
   std::string image(nn::kCheckpointMagicV2, sizeof(nn::kCheckpointMagicV2));
   const std::uint32_t version = nn::kCheckpointVersion;
   image.append(reinterpret_cast<const char*>(&version), sizeof(version));
@@ -189,13 +201,37 @@ bool Checkpointer::Save(const nn::Module& module,
     nn::AppendRecord(&image, nn::kBestSnapshot, EncodeSnapshot(state.best_snapshot));
   }
   nn::AppendRecord(&image, nn::kEnd, {});
-  return core::AtomicWriteFile(fs_, path_, image);
+  span.SetArg("bytes", static_cast<std::int64_t>(image.size()));
+  const bool ok = core::AtomicWriteFile(fs_, path_, image);
+  if (ok) {
+    obs_saves.Inc();
+    obs_bytes_written.Inc(static_cast<std::int64_t>(image.size()));
+  } else {
+    obs_save_failures.Inc();
+  }
+  obs_save_seconds.Add(static_cast<double>(obs::NowNanos() - t0) * 1e-9);
+  return ok;
 }
 
 bool Checkpointer::Restore(std::uint64_t expected_fingerprint,
                            nn::Module* module, optim::Adam* adam,
                            data::Batcher* batcher, Rng* rng,
                            TrainCheckpointState* state) const {
+  // Successful restores are counted below; failures are derivable as
+  // attempts − restores (there are too many distinct early-outs here for
+  // one failure counter to say anything useful).
+  static obs::Counter obs_attempts =
+      obs::Registry::Global().counter("dcmt_checkpoint_restore_attempts_total");
+  static obs::Counter obs_restores =
+      obs::Registry::Global().counter("dcmt_checkpoint_restores_total");
+  static obs::Counter obs_bytes_read =
+      obs::Registry::Global().counter("dcmt_checkpoint_bytes_read_total");
+  static obs::Sum obs_restore_seconds =
+      obs::Registry::Global().sum("dcmt_checkpoint_restore_seconds_total");
+  obs_attempts.Inc();
+  obs::TraceSpan span("checkpoint/restore");
+  const std::int64_t t0 = obs::NowNanos();
+
   std::unique_ptr<core::FileReader> reader = fs_->OpenForRead(path_);
   if (reader == nullptr) return false;
   std::string image;
@@ -272,6 +308,10 @@ bool Checkpointer::Restore(std::uint64_t expected_fingerprint,
   if (!nn::ApplyParametersPayload(params_payload, module)) return false;
   rng->set_state(decoded.shuffle_rng);
   *state = std::move(decoded);
+  obs_restores.Inc();
+  obs_bytes_read.Inc(static_cast<std::int64_t>(image.size()));
+  obs_restore_seconds.Add(static_cast<double>(obs::NowNanos() - t0) * 1e-9);
+  span.SetArg("bytes", static_cast<std::int64_t>(image.size()));
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/obs.h"
 #include "data/batcher.h"
 #include "metrics/metrics.h"
 #include "models/common.h"
@@ -11,6 +12,13 @@ namespace eval {
 
 PredictionLog Predict(models::MultiTaskModel* model,
                       const data::Dataset& dataset, int batch_size) {
+  static obs::Counter obs_rows =
+      obs::Registry::Global().counter("dcmt_eval_rows_total");
+  static obs::Sum obs_seconds =
+      obs::Registry::Global().sum("dcmt_eval_seconds_total");
+  obs::TraceSpan span("eval/predict", "rows", dataset.size());
+  const std::int64_t t0 = obs::NowNanos();
+
   PredictionLog log;
   const std::int64_t n = dataset.size();
   log.ctr.reserve(static_cast<std::size_t>(n));
@@ -45,6 +53,8 @@ PredictionLog Predict(models::MultiTaskModel* model,
     log.oracle_conversion.push_back(e.oracle_conversion);
     log.user_index.push_back(e.user_index);
   }
+  obs_rows.Inc(n);
+  obs_seconds.Add(static_cast<double>(obs::NowNanos() - t0) * 1e-9);
   return log;
 }
 

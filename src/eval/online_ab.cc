@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/obs.h"
 #include "data/batcher.h"
 #include "models/common.h"
 
@@ -44,6 +45,24 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
     results[b].model = bucket_names[b];
   }
 
+  // Serving-side telemetry: scoring latency is tracked per bucket (the
+  // labeled sums are what an A/B dashboard would alert on), event volumes
+  // globally.
+  obs::Registry& obs_registry = obs::Registry::Global();
+  obs::Counter obs_page_views = obs_registry.counter("dcmt_ab_page_views_total");
+  obs::Counter obs_scored =
+      obs_registry.counter("dcmt_ab_candidates_scored_total");
+  obs::Counter obs_exposures = obs_registry.counter("dcmt_ab_exposures_total");
+  obs::Counter obs_clicks = obs_registry.counter("dcmt_ab_clicks_total");
+  obs::Counter obs_conversions =
+      obs_registry.counter("dcmt_ab_conversions_total");
+  std::vector<obs::Sum> obs_score_seconds;
+  obs_score_seconds.reserve(bucket_names.size());
+  for (const std::string& name : bucket_names) {
+    obs_score_seconds.push_back(obs_registry.sum(
+        "dcmt_ab_score_seconds_total{bucket=\"" + name + "\"}"));
+  }
+
   std::int64_t posterior_exposures = 0, posterior_clicks = 0,
                posterior_convs = 0;
 
@@ -80,16 +99,24 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
       score_ctcvr.reserve(static_cast<std::size_t>(day_dataset.size()));
       score_cvr.reserve(static_cast<std::size_t>(day_dataset.size()));
       constexpr int kChunk = 4096;
-      for (std::int64_t first = 0; first < day_dataset.size(); first += kChunk) {
-        const int count = static_cast<int>(
-            std::min<std::int64_t>(kChunk, day_dataset.size() - first));
-        const data::Batch batch =
-            data::MakeContiguousBatch(day_dataset, first, count);
-        const models::Predictions preds = bucket_models[b]->Forward(batch);
-        const std::vector<float> ctcvr = models::ColumnToVector(preds.ctcvr);
-        const std::vector<float> cvr = models::ColumnToVector(preds.cvr);
-        score_ctcvr.insert(score_ctcvr.end(), ctcvr.begin(), ctcvr.end());
-        score_cvr.insert(score_cvr.end(), cvr.begin(), cvr.end());
+      {
+        obs::TraceSpan score_span("ab/score", "candidates", day_dataset.size());
+        const std::int64_t score_t0 = obs::NowNanos();
+        for (std::int64_t first = 0; first < day_dataset.size();
+             first += kChunk) {
+          const int count = static_cast<int>(
+              std::min<std::int64_t>(kChunk, day_dataset.size() - first));
+          const data::Batch batch =
+              data::MakeContiguousBatch(day_dataset, first, count);
+          const models::Predictions preds = bucket_models[b]->Forward(batch);
+          const std::vector<float> ctcvr = models::ColumnToVector(preds.ctcvr);
+          const std::vector<float> cvr = models::ColumnToVector(preds.cvr);
+          score_ctcvr.insert(score_ctcvr.end(), ctcvr.begin(), ctcvr.end());
+          score_cvr.insert(score_cvr.end(), cvr.begin(), cvr.end());
+        }
+        obs_score_seconds[b].Add(
+            static_cast<double>(obs::NowNanos() - score_t0) * 1e-9);
+        obs_scored.Inc(day_dataset.size());
       }
       if (day == 0) {
         results[b].day1_cvr_predictions = score_cvr;
@@ -98,6 +125,7 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
       // Rank within each page view, expose top-K, roll user behaviour.
       DayMetrics metrics;
       metrics.page_views = config_.page_views_per_day;
+      std::int64_t bucket_exposures = 0;
       for (std::size_t p = 0; p < stream.size(); ++p) {
         const PvRequest& pv = stream[p];
         const std::size_t base = p * static_cast<std::size_t>(config_.candidates_per_pv);
@@ -126,6 +154,7 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
                 generator_->TrueConversionProbability(pv.user, item, slot);
             converted = HashUniform(event_key ^ 0xc0ffeeULL) < p_conv;
           }
+          ++bucket_exposures;
           metrics.clicks += clicked ? 1 : 0;
           metrics.conversions += converted ? 1 : 0;
           if (converted && slot < config_.first_screen) {
@@ -143,6 +172,10 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
       metrics.pv_cvr =
           static_cast<double>(metrics.conversions) / metrics.page_views;
       metrics.top5_pv_cvr /= static_cast<double>(metrics.page_views);
+      obs_page_views.Inc(metrics.page_views);
+      obs_exposures.Inc(bucket_exposures);
+      obs_clicks.Inc(metrics.clicks);
+      obs_conversions.Inc(metrics.conversions);
       results[b].days.push_back(metrics);
     }
   }

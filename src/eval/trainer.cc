@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "core/obs.h"
 #include "data/batcher.h"
 #include "eval/checkpointer.h"
 #include "eval/evaluator.h"
@@ -39,6 +40,24 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
                    const TrainConfig& config) {
   TrainHistory history;
   const auto start = std::chrono::steady_clock::now();
+
+  // Trainer telemetry (DESIGN.md §12). Handles are acquired once per Train
+  // call; recording them is a no-op branch unless obs::SetEnabled(true).
+  obs::Registry& obs_registry = obs::Registry::Global();
+  obs::Counter obs_steps = obs_registry.counter("dcmt_train_steps_total");
+  obs::Counter obs_rows = obs_registry.counter("dcmt_train_rows_total");
+  obs::Counter obs_epochs = obs_registry.counter("dcmt_train_epochs_total");
+  obs::Gauge obs_loss_last = obs_registry.gauge("dcmt_train_loss_last");
+  obs::Gauge obs_grad_norm_last =
+      obs_registry.gauge("dcmt_train_grad_norm_last");
+  obs::Gauge obs_rows_per_second =
+      obs_registry.gauge("dcmt_train_rows_per_second");
+  obs::Sum obs_train_seconds = obs_registry.sum("dcmt_train_seconds_total");
+  obs::Histogram obs_loss_hist =
+      obs_registry.histogram("dcmt_train_loss", 32, 0.0, 8.0);
+  obs::Histogram obs_grad_norm_hist =
+      obs_registry.histogram("dcmt_train_grad_norm", 32, 0.0, 16.0);
+  std::int64_t rows_trained = 0;
 
   // Optional validation split from the tail (chronological-style holdout).
   data::Dataset fit_split = train;
@@ -143,6 +162,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
   };
 
   for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train/epoch", "epoch", epoch);
     double loss_sum = 0.0;
     std::int64_t batches = 0;
     if (resume_mid_epoch) {
@@ -173,11 +193,21 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       }
 #endif
       loss.Backward();
-      if (config.grad_clip > 0.0f) adam.ClipGradNorm(config.grad_clip);
+      if (config.grad_clip > 0.0f) {
+        const float grad_norm = adam.ClipGradNorm(config.grad_clip);
+        obs_grad_norm_last.Set(grad_norm);
+        obs_grad_norm_hist.Observe(grad_norm);
+      }
       adam.Step();
-      loss_sum += loss.item();
+      const double step_loss = static_cast<double>(loss.item());
+      loss_sum += step_loss;
       ++batches;
       ++history.steps;
+      obs_steps.Inc();
+      obs_rows.Inc(batch.size);
+      rows_trained += batch.size;
+      obs_loss_last.Set(step_loss);
+      obs_loss_hist.Observe(step_loss);
       if (checkpointer != nullptr && config.checkpoint_every > 0 &&
           history.steps % config.checkpoint_every == 0) {
         save_checkpoint(epoch, loss_sum, batches);
@@ -193,6 +223,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     const double epoch_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
     history.epoch_loss.push_back(epoch_loss);
     history.final_epoch = epoch;
+    obs_epochs.Inc();
 
     // 1.0f is the exact "decay disabled" sentinel, not a computed quantity.
     // dcmt-lint: allow(float-eq) — exact sentinel comparison.
@@ -202,6 +233,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
 
     bool stop_early = false;
     if (has_validation && !val_split.empty()) {
+      obs::TraceSpan val_span("train/validate", "epoch", epoch);
       const auto eval_start = std::chrono::steady_clock::now();
       const EvalResult val = Evaluate(model, val_split);
       eval_seconds += std::chrono::duration<double>(
@@ -260,6 +292,11 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
   // Report pure training time: validation Evaluate passes are bookkeeping,
   // and counting them would misstate train throughput.
   history.seconds = elapsed_training_seconds();
+  obs_train_seconds.Add(history.seconds);
+  if (history.seconds > 0.0 && rows_trained > 0) {
+    obs_rows_per_second.Set(static_cast<double>(rows_trained) /
+                            history.seconds);
+  }
   return history;
 }
 

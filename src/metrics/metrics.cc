@@ -193,9 +193,18 @@ Histogram::Histogram(int bins, float lo, float hi) : lo_(lo), hi_(hi) {
 }
 
 void Histogram::Add(float value) {
-  const float t = (value - lo_) / (hi_ - lo_);
+  if (!std::isfinite(value)) {
+    // NaN/±inf would poison sum_ and, worse, make the float→int conversion
+    // below undefined behaviour. Tally them separately instead.
+    ++nonfinite_;
+    return;
+  }
+  // Clamp in float space *before* converting: casting an out-of-range float
+  // (e.g. 1e30 scaled by the bin count) to int is UB, not a saturation.
+  float t = (value - lo_) / (hi_ - lo_);
+  t = std::clamp(t, 0.0f, 1.0f);
   int b = static_cast<int>(t * static_cast<float>(counts_.size()));
-  b = std::clamp(b, 0, static_cast<int>(counts_.size()) - 1);
+  b = std::min(b, static_cast<int>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(b)];
   ++total_;
   sum_ += value;
@@ -230,8 +239,14 @@ std::string Histogram::Render(
     const int bar = static_cast<int>(
         static_cast<double>(counts_[b]) / static_cast<double>(peak) * width);
     for (int i = 0; i < bar; ++i) out << '#';
+    const bool last_bin = b + 1 == counts_.size();
     for (const auto& [value, label] : marks) {
-      if (value >= bin_lo && value < bin_hi) out << "   <-- " << label;
+      // Add clamps values at hi_ into the last bin, so the last bin's mark
+      // interval is closed ([bin_lo, hi_], using hi_ itself to dodge any
+      // rounding in bin_lo + bin_width) where the others are half-open.
+      const bool in_bin = last_bin ? (value >= bin_lo && value <= hi_)
+                                   : (value >= bin_lo && value < bin_hi);
+      if (in_bin) out << "   <-- " << label;
     }
     out << "\n";
   }

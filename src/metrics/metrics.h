@@ -54,12 +54,16 @@ class Histogram {
  public:
   Histogram(int bins, float lo, float hi);
 
+  /// Finite values are clamped into [lo, hi] and binned; non-finite values
+  /// (NaN, ±inf) are tallied in nonfinite() and excluded from the bins,
+  /// total() and Mean().
   void Add(float value);
   void AddAll(const std::vector<float>& values);
 
   int bins() const { return static_cast<int>(counts_.size()); }
   std::int64_t count(int bin) const { return counts_[static_cast<std::size_t>(bin)]; }
   std::int64_t total() const { return total_; }
+  std::int64_t nonfinite() const { return nonfinite_; }
   /// Center of a bin.
   float BinCenter(int bin) const;
   /// Mean of all added values.
@@ -76,6 +80,7 @@ class Histogram {
   float hi_;
   std::vector<std::int64_t> counts_;
   std::int64_t total_ = 0;
+  std::int64_t nonfinite_ = 0;
   double sum_ = 0.0;
 };
 

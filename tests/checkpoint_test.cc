@@ -161,6 +161,55 @@ TEST(CheckpointResumeTest, CrashResumeBitExactAtTwoThreads) {
   core::ThreadPool::Global().SetNumThreads(1);
 }
 
+TEST(CheckpointResumeTest, SaveBeforeFirstBatchResumesBitExact) {
+  // Regression for the batcher's first-epoch shuffle contract: the first
+  // epoch is shuffled exactly once, at construction, so a checkpoint written
+  // *before the first batch is ever drawn* already holds the order the first
+  // epoch will train on. Resuming from such a pristine checkpoint must
+  // reproduce the uninterrupted run bit-for-bit — at 1 thread and at the
+  // fixed 2-thread width of the determinism contract.
+  for (const int threads : {1, 2}) {
+    core::ThreadPool::Global().SetNumThreads(threads);
+    const data::Dataset train = MakeTrainSet();
+    const RunResult baseline = RunTraining(train, BaseTrainConfig());
+
+    // Reconstruct the exact training objects Train() builds, checkpoint them
+    // untouched (epoch 0, step 0, zero batches), and throw them away.
+    const std::string dir =
+        TempDirFor("resume_pristine_" + std::to_string(threads) + "thr");
+    eval::TrainConfig tc = BaseTrainConfig();
+    tc.checkpoint_dir = dir;
+    tc.resume = true;
+    {
+      const std::int64_t head =
+          train.size() -
+          static_cast<std::int64_t>(static_cast<double>(train.size()) *
+                                    tc.validation_fraction);
+      const auto [fit, val] = train.SplitAt(head);
+      core::Dcmt model(train.schema(), SmallModelConfig());
+      Rng shuffle_rng(tc.seed);
+      data::Batcher batcher(&fit, tc.batch_size, &shuffle_rng);
+      optim::Adam adam(model.parameters(), tc.learning_rate, 0.9f, 0.999f,
+                       1e-8f, tc.weight_decay);
+      eval::TrainCheckpointState state;
+      state.fingerprint = eval::FingerprintTrainSetup(model, tc, fit.size());
+      state.adam = adam.ExportState();
+      state.shuffle_rng = shuffle_rng.state();
+      state.batcher = batcher.SaveState();
+      EXPECT_EQ(state.batcher.cursor, 0);
+      EXPECT_TRUE(state.batcher.fresh_epoch);
+      eval::Checkpointer checkpointer(dir);
+      ASSERT_TRUE(checkpointer.Save(model, state));
+    }
+
+    const RunResult resumed = RunTraining(train, tc);
+    // The whole run replays: same step count as the baseline, not a prefix.
+    EXPECT_EQ(resumed.history.steps, baseline.history.steps);
+    ExpectBitIdentical(baseline, resumed);
+  }
+  core::ThreadPool::Global().SetNumThreads(1);
+}
+
 TEST(CheckpointResumeTest, ResumeAfterCompletedRunIsANoOp) {
   core::ThreadPool::Global().SetNumThreads(1);
   const data::Dataset train = MakeTrainSet();

@@ -367,6 +367,58 @@ TEST(BatcherTest, LabelsMatchExamples) {
   }
 }
 
+TEST(BatcherTest, StateSavedAtConstructionIsTheTrainedOrder) {
+  // Regression: the first epoch must be shuffled exactly once, at
+  // construction, so SaveState() taken before any Next() call captures
+  // exactly the order the first epoch then trains on.
+  data::SyntheticLogGenerator gen(SmallProfile());
+  const data::Dataset train = gen.GenerateTrain();
+  Rng rng(17);
+  data::Batcher batcher(&train, 512, &rng);
+  const data::BatcherState pristine = batcher.SaveState();
+  EXPECT_EQ(pristine.cursor, 0);
+  EXPECT_TRUE(pristine.fresh_epoch);
+
+  data::Batch batch;
+  std::vector<std::int64_t> trained_order;
+  std::int64_t cursor = 0;
+  while (batcher.Next(&batch)) {
+    for (int i = 0; i < batch.size; ++i) {
+      trained_order.push_back(pristine.order[cursor + i]);
+      EXPECT_EQ(batch.deep_ids[0][static_cast<std::size_t>(i)],
+                train.examples()[static_cast<std::size_t>(
+                                     pristine.order[cursor + i])]
+                    .deep_ids[0]);
+    }
+    cursor += batch.size;
+  }
+  EXPECT_EQ(cursor, train.size());
+  EXPECT_EQ(trained_order, pristine.order);
+}
+
+TEST(BatcherTest, RewindReplaysWithoutReshuffleEvenAfterEpochEnd) {
+  // Regression: Rewind() used to leave the stale not-fresh flag in place, so
+  // a rewind issued right after an epoch boundary reshuffled on the next
+  // Next() instead of replaying the epoch it promised to restart.
+  data::SyntheticLogGenerator gen(SmallProfile());
+  const data::Dataset train = gen.GenerateTrain();
+  Rng rng(18);
+  data::Batcher batcher(&train, 256, &rng);
+  data::Batch batch;
+  while (batcher.Next(&batch)) {
+  }
+  const std::vector<std::int64_t> epoch_order = batcher.SaveState().order;
+  batcher.Rewind();
+  ASSERT_TRUE(batcher.Next(&batch));
+  EXPECT_EQ(batcher.SaveState().order, epoch_order);
+  for (int i = 0; i < batch.size; ++i) {
+    EXPECT_EQ(batch.deep_ids[0][static_cast<std::size_t>(i)],
+              train.examples()[static_cast<std::size_t>(epoch_order[
+                                   static_cast<std::size_t>(i)])]
+                  .deep_ids[0]);
+  }
+}
+
 TEST(BatcherTest, BatchesPerEpochRoundsUp) {
   data::SyntheticLogGenerator gen(SmallProfile());
   const data::Dataset train = gen.GenerateTrain();  // 8000

@@ -3,6 +3,7 @@
 // Fig. 7 histogram.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -240,6 +241,58 @@ TEST(HistogramTest, OutOfRangeValuesClampToEdgeBins) {
   h.Add(1.5f);
   EXPECT_EQ(h.count(0), 1);
   EXPECT_EQ(h.count(3), 1);
+}
+
+TEST(HistogramTest, NonFiniteValuesAreCountedSeparately) {
+  // Regression: Add used to convert (value-lo)/(hi-lo)*bins to int *before*
+  // clamping, so NaN/±inf (and huge finite values) hit the undefined
+  // float->int conversion. They must now land in nonfinite() (or clamp, for
+  // finite values) without touching the bins, total() or Mean(). The ASan/
+  // UBSan tier-1 stage runs this test with -fsanitize=float-cast-overflow.
+  metrics::Histogram h(8, 0.0f, 1.0f);
+  h.Add(std::numeric_limits<float>::quiet_NaN());
+  h.Add(std::numeric_limits<float>::infinity());
+  h.Add(-std::numeric_limits<float>::infinity());
+  EXPECT_EQ(h.nonfinite(), 3);
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+
+  // Finite but astronomically out of range: clamps to the edge bins instead
+  // of overflowing the cast.
+  h.Add(1e30f);
+  h.Add(-1e30f);
+  EXPECT_EQ(h.nonfinite(), 3);
+  EXPECT_EQ(h.total(), 2);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(7), 1);
+
+  h.Add(0.5f);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(HistogramTest, RenderMarksValueExactlyAtUpperBound) {
+  // Regression: a mark at exactly hi_ fell through every bin's half-open
+  // [bin_lo, bin_hi) test and silently vanished, even though Add clamps the
+  // value itself into the last bin. The last bin's mark interval is closed.
+  metrics::Histogram h(5, 0.0f, 1.0f);
+  h.Add(1.0f);
+  const std::string render = h.Render(20, {{1.0f, "at-hi"}, {0.0f, "at-lo"}});
+  EXPECT_NE(render.find("at-hi"), std::string::npos);
+  EXPECT_NE(render.find("at-lo"), std::string::npos);
+  // Above hi_ still renders nowhere.
+  const std::string above = h.Render(20, {{1.25f, "beyond"}});
+  EXPECT_EQ(above.find("beyond"), std::string::npos);
+}
+
+TEST(CalibrationTest, ExactZeroAndOnePredictionsStayInRange) {
+  // Predictions exactly 0.0 and 1.0 must land in the first/last bins (the
+  // 1.0*bins product indexes one past the end before clamping).
+  const std::vector<float> preds = {0.0f, 0.0f, 1.0f, 1.0f};
+  const std::vector<std::uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(metrics::CalibrationError(preds, labels), 0.0);
+  // Maximally miscalibrated at the boundaries: |0-1| and |1-0| in each bin.
+  const std::vector<std::uint8_t> wrong = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::CalibrationError(preds, wrong), 1.0);
 }
 
 TEST(HistogramTest, BinCenters) {

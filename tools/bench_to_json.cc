@@ -2,11 +2,16 @@
 // machine-readable perf trajectory file (BENCH_engine.json).
 //
 //   bench_parallel_scaling --benchmark_out=raw.json --benchmark_out_format=json
-//   bench_to_json raw.json BENCH_engine.json
+//   bench_obs_overhead --benchmark_out=obs.json --benchmark_out_format=json
+//   bench_to_json raw.json [obs.json ...] BENCH_engine.json
 //
+// Any number of input files may be given; the last argument is the output.
 // The output records ns/op per (benchmark, thread count) plus per-family
 // speedups relative to the 1-thread run, so future PRs can diff engine
-// performance without re-parsing google-benchmark's verbose format.
+// performance without re-parsing google-benchmark's verbose format. When a
+// family pair <base>ObsOff/<base>ObsOn is present (bench_obs_overhead), an
+// "obs_overhead" section additionally reports the enabled/disabled overhead
+// in percent — the ≤2% disabled-path budget of DESIGN.md §12.
 //
 // The parser is deliberately minimal: it understands exactly the regular
 // subset of JSON that google-benchmark emits (one "name"/"real_time"/
@@ -87,17 +92,13 @@ void ParseName(const std::string& name, BenchEntry* entry) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: bench_to_json <google-benchmark.json> <out.json>\n");
-    return 2;
-  }
-  std::ifstream in(argv[1]);
+/// Parses one google-benchmark JSON file, appending its measurement rows.
+/// Returns false (after printing a diagnostic) on unreadable/malformed input.
+bool ParseBenchmarkFile(const char* path, std::vector<BenchEntry>* entries) {
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "bench_to_json: cannot read %s\n", argv[1]);
-    return 1;
+    std::fprintf(stderr, "bench_to_json: cannot read %s\n", path);
+    return false;
   }
   std::stringstream buf;
   buf << in.rdbuf();
@@ -105,11 +106,10 @@ int main(int argc, char** argv) {
 
   // Only objects inside the "benchmarks" array carry a "name"; context
   // objects do not, so scanning for "name" keys visits exactly the entries.
-  std::vector<BenchEntry> entries;
   std::size_t pos = text.find("\"benchmarks\"");
   if (pos == std::string::npos) {
-    std::fprintf(stderr, "bench_to_json: no \"benchmarks\" array in %s\n", argv[1]);
-    return 1;
+    std::fprintf(stderr, "bench_to_json: no \"benchmarks\" array in %s\n", path);
+    return false;
   }
   while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
     const std::size_t object_end = text.find('}', pos);
@@ -125,10 +125,25 @@ int main(int argc, char** argv) {
       // google-benchmark repeats aggregate rows (mean/median/stddev) reuse
       // the name with a suffix; keep only plain measurement rows.
       if (FindStringValue(text, pos, limit, "run_type") != "aggregate") {
-        entries.push_back(entry);
+        entries->push_back(entry);
       }
     }
     pos = limit;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_to_json <google-benchmark.json>... <out.json>\n");
+    return 2;
+  }
+  std::vector<BenchEntry> entries;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!ParseBenchmarkFile(argv[i], &entries)) return 1;
   }
   if (entries.empty()) {
     std::fprintf(stderr, "bench_to_json: no benchmark entries parsed\n");
@@ -139,15 +154,16 @@ int main(int argc, char** argv) {
   std::map<std::string, std::map<int, double>> families;
   for (const BenchEntry& e : entries) families[e.family][e.threads] = e.ns_per_op;
 
-  std::ofstream out(argv[2]);
+  const char* out_path = argv[argc - 1];
+  std::ofstream out(out_path);
   if (!out) {
-    std::fprintf(stderr, "bench_to_json: cannot write %s\n", argv[2]);
+    std::fprintf(stderr, "bench_to_json: cannot write %s\n", out_path);
     return 1;
   }
   // dcmt-lint: allow(concurrency) — metadata read, no thread is created.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   out << "{\n";
-  out << "  \"generated_by\": \"bench_parallel_scaling + tools/bench_to_json\",\n";
+  out << "  \"generated_by\": \"tools/bench_to_json\",\n";
   out << "  \"hardware_threads\": " << hw << ",\n";
   out << "  \"benchmarks\": {\n";
   bool first_family = true;
@@ -181,8 +197,36 @@ int main(int argc, char** argv) {
     }
     out << "\n    }";
   }
-  out << "\n  }\n}\n";
+  out << "\n  }";
+
+  // Pair <base>ObsOff/<base>ObsOn families into per-thread-count overhead
+  // percentages ((on - off) / off * 100), the §12 disabled-path budget.
+  bool first_pair = true;
+  for (const auto& [family, off_by_threads] : families) {
+    const std::string suffix = "ObsOff";
+    if (family.size() <= suffix.size() ||
+        family.compare(family.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string base = family.substr(0, family.size() - suffix.size());
+    const auto on_it = families.find(base + "ObsOn");
+    if (on_it == families.end()) continue;
+    for (const auto& [threads, off_ns] : off_by_threads) {
+      const auto on = on_it->second.find(threads);
+      if (on == on_it->second.end() || off_ns <= 0.0) continue;
+      out << (first_pair ? ",\n  \"obs_overhead\": {\n" : ",\n");
+      first_pair = false;
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.2f",
+                    (on->second - off_ns) / off_ns * 100.0);
+      out << "    \"" << base << "/" << threads << "\": {\"on_vs_off_pct\": "
+          << num << "}";
+    }
+  }
+  if (!first_pair) out << "\n  }";
+
+  out << "\n}\n";
   std::printf("bench_to_json: wrote %zu entries (%zu families) to %s\n",
-              entries.size(), families.size(), argv[2]);
+              entries.size(), families.size(), out_path);
   return 0;
 }

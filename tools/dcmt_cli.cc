@@ -7,7 +7,9 @@
 //   dcmt_cli train    --model=dcmt --train=train.csv --ckpt=dcmt.ckpt
 //                     [--epochs=4 --lr=0.01 --lambda1=1.0 --val-fraction=0.1]
 //                     [--checkpoint-dir=ckpts --checkpoint-every=500 --resume=1]
+//                     [--metrics-out=metrics.prom --trace-out=trace.jsonl]
 //   dcmt_cli evaluate --model=dcmt --ckpt=dcmt.ckpt --test=test.csv
+//                     [--metrics-out=- --trace-out=trace.jsonl]
 //   dcmt_cli predict  --model=dcmt --ckpt=dcmt.ckpt --input=test.csv
 //                     --out=preds.csv
 //   dcmt_cli check-graph [--model=all] [--batch=64]
@@ -25,6 +27,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/obs.h"
 #include "core/registry.h"
 #include "core/thread_pool.h"
 #include "data/batcher.h"
@@ -52,6 +55,32 @@ int Usage() {
 /// default) before any tensor work runs.
 void ApplyThreadsFlag(const eval::Flags& flags) {
   core::ThreadPool::Global().SetNumThreads(flags.GetInt("threads"));
+}
+
+/// Turns recording on when either observability output is requested
+/// (--metrics-out/--trace-out, "-" = stdout for the metrics dump). Call
+/// before the subcommand does any instrumented work.
+void ApplyObsFlags(const eval::Flags& flags) {
+  if (!flags.Get("metrics-out").empty() || !flags.Get("trace-out").empty()) {
+    obs::SetEnabled(true);
+  }
+}
+
+/// Writes the Prometheus-style metrics dump and/or the JSON-lines trace the
+/// run accumulated. Returns 0, or 1 if an output path is unwritable.
+int WriteObsOutputs(const eval::Flags& flags) {
+  const std::string metrics_out = flags.Get("metrics-out");
+  const std::string trace_out = flags.Get("trace-out");
+  if (!metrics_out.empty() &&
+      !obs::Registry::Global().WriteMetricsFile(metrics_out)) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !obs::Registry::Global().WriteTraceFile(trace_out)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 models::ModelConfig ModelConfigFromFlags(const eval::Flags& flags) {
@@ -102,12 +131,15 @@ int TrainCmd(int argc, char** argv) {
                            {"threads", "0"},
                            {"checkpoint-dir", ""},
                            {"checkpoint-every", "0"},
-                           {"resume", "0"}});
+                           {"resume", "0"},
+                           {"metrics-out", ""},
+                           {"trace-out", ""}});
   if (flags.Get("train").empty() || flags.Get("ckpt").empty()) {
     std::fprintf(stderr, "train: --train and --ckpt are required\n");
     return 2;
   }
   ApplyThreadsFlag(flags);
+  ApplyObsFlags(flags);
   data::Dataset train;
   if (!data::ReadCsv(flags.Get("train"), &train)) {
     std::fprintf(stderr, "train: cannot read %s\n", flags.Get("train").c_str());
@@ -144,7 +176,7 @@ int TrainCmd(int argc, char** argv) {
   std::printf("trained %s for %lld steps (%.1fs, final epoch %d); checkpoint %s\n",
               model->name().c_str(), static_cast<long long>(history.steps),
               history.seconds, history.final_epoch, flags.Get("ckpt").c_str());
-  return 0;
+  return WriteObsOutputs(flags);
 }
 
 int EvaluateCmd(int argc, char** argv) {
@@ -155,12 +187,15 @@ int EvaluateCmd(int argc, char** argv) {
                            {"lambda1", "1.0"},
                            {"embedding-dim", "16"},
                            {"seed", "7"},
-                           {"threads", "0"}});
+                           {"threads", "0"},
+                           {"metrics-out", ""},
+                           {"trace-out", ""}});
   if (flags.Get("ckpt").empty() || flags.Get("test").empty()) {
     std::fprintf(stderr, "evaluate: --ckpt and --test are required\n");
     return 2;
   }
   ApplyThreadsFlag(flags);
+  ApplyObsFlags(flags);
   data::Dataset test;
   if (!data::ReadCsv(flags.Get("test"), &test)) {
     std::fprintf(stderr, "evaluate: cannot read %s\n", flags.Get("test").c_str());
@@ -183,7 +218,7 @@ int EvaluateCmd(int argc, char** argv) {
   std::printf("CTR AUC            %.4f\n", r.ctr_auc);
   std::printf("CVR AUC (oracle D) %.4f\n", r.cvr_auc_oracle);
   std::printf("mean pCVR over D   %.4f\n", r.mean_cvr_pred);
-  return 0;
+  return WriteObsOutputs(flags);
 }
 
 int PredictCmd(int argc, char** argv) {

@@ -32,9 +32,9 @@ if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
     -DDCMT_SANITIZE=address,undefined \
     -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
   cmake --build "$SAN_DIR" -j "$JOBS" \
-    --target io_test serialize_test checkpoint_test
+    --target io_test serialize_test checkpoint_test metrics_test
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-    -R 'Crc32|FileSystem|AtomicWrite|FaultInjection|Serialize|AdamState|Checkpoint'
+    -R 'Crc32|FileSystem|AtomicWrite|FaultInjection|Serialize|AdamState|Checkpoint|Histogram'
 fi
 
 # Race detection: rebuild the concurrency-heavy suites under ThreadSanitizer
@@ -46,15 +46,51 @@ if [[ "${DCMT_SKIP_TSAN:-0}" != "1" ]]; then
     -DDCMT_SANITIZE=thread \
     -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target tsan_stress_test parallel_test
+    --target tsan_stress_test parallel_test obs_test
   TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-    -R 'TsanStress|ThreadPool|ParallelKernels|ParallelTraining|ParallelExperiment'
+    -R 'TsanStress|ThreadPool|ParallelKernels|ParallelTraining|ParallelExperiment|Obs'
+fi
+
+# Observability determinism (DESIGN.md §12): train the same tiny run twice
+# with --metrics-out/--trace-out and assert the exports are content-identical
+# once timing-derived values are projected out — metrics via the
+# "seconds|per_second" naming convention, traces by zeroing ts_ns/dur_ns.
+# Skippable with DCMT_SKIP_OBS=1.
+if [[ "${DCMT_SKIP_OBS:-0}" != "1" ]]; then
+  OBS_DIR="$BUILD_DIR/obs_determinism"
+  rm -rf "$OBS_DIR"
+  mkdir -p "$OBS_DIR"
+  "$BUILD_DIR"/tools/dcmt_cli generate --profile=ae-nl \
+    --out="$OBS_DIR/train.csv" >/dev/null
+  for run in 1 2; do
+    "$BUILD_DIR"/tools/dcmt_cli train --train="$OBS_DIR/train.csv" --epochs=1 \
+      --threads=2 --val-fraction=0.25 --ckpt="$OBS_DIR/model$run.bin" \
+      --checkpoint-dir="$OBS_DIR/ckpt$run" \
+      --metrics-out="$OBS_DIR/metrics$run.prom" \
+      --trace-out="$OBS_DIR/trace$run.jsonl" >/dev/null
+  done
+  grep -vE '(seconds|per_second)' "$OBS_DIR/metrics1.prom" > "$OBS_DIR/m1.filtered"
+  grep -vE '(seconds|per_second)' "$OBS_DIR/metrics2.prom" > "$OBS_DIR/m2.filtered"
+  diff -u "$OBS_DIR/m1.filtered" "$OBS_DIR/m2.filtered" \
+    || { echo "obs determinism FAILED: metrics exports differ"; exit 1; }
+  sed -E 's/"(ts|dur)_ns":[0-9]+/"\1_ns":0/g' "$OBS_DIR/trace1.jsonl" > "$OBS_DIR/t1.filtered"
+  sed -E 's/"(ts|dur)_ns":[0-9]+/"\1_ns":0/g' "$OBS_DIR/trace2.jsonl" > "$OBS_DIR/t2.filtered"
+  diff -u "$OBS_DIR/t1.filtered" "$OBS_DIR/t2.filtered" \
+    || { echo "obs determinism FAILED: trace exports differ"; exit 1; }
+  # A metrics export that silently recorded nothing would also "diff clean".
+  grep -q '^dcmt_train_steps_total [1-9]' "$OBS_DIR/metrics1.prom" \
+    || { echo "obs determinism FAILED: no training metrics recorded"; exit 1; }
+  echo "obs determinism OK"
 fi
 
 "$BUILD_DIR"/bench/bench_parallel_scaling \
   --benchmark_out="$BUILD_DIR"/bench_parallel_raw.json \
   --benchmark_out_format=json
-"$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json BENCH_engine.json
+"$BUILD_DIR"/bench/bench_obs_overhead \
+  --benchmark_out="$BUILD_DIR"/bench_obs_raw.json \
+  --benchmark_out_format=json
+"$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json \
+  "$BUILD_DIR"/bench_obs_raw.json BENCH_engine.json
 
 echo "tier-1 OK; perf trajectory written to BENCH_engine.json"
