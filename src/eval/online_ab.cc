@@ -1,11 +1,13 @@
 #include "eval/online_ab.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <unordered_map>
 
 #include "core/obs.h"
-#include "data/batcher.h"
-#include "models/common.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
 
 namespace dcmt {
 namespace eval {
@@ -66,6 +68,24 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
   std::int64_t posterior_exposures = 0, posterior_clicks = 0,
                posterior_convs = 0;
 
+  // Serving stack, one per bucket, reused across days: each bucket's model
+  // behind a frozen view and a micro-batching engine. Scores are identical
+  // to a taped Forward over the raw candidate list (forward kernels are
+  // row-independent; see serve::FrozenModel), but the serving path is
+  // tape-free and — with the dedupe below — embeds each distinct
+  // (user, item) pair once instead of once per duplicate candidate slot.
+  std::vector<serve::FrozenModel> frozen;
+  frozen.reserve(bucket_models.size());  // engines keep pointers into this
+  std::vector<std::unique_ptr<serve::Engine>> engines;
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = 4096;
+  engine_config.queue_capacity = 8192;
+  for (models::MultiTaskModel* model : bucket_models) {
+    frozen.push_back(serve::FrozenModel::View(model, generator_->Schema()));
+    engines.push_back(
+        std::make_unique<serve::Engine>(&frozen.back(), engine_config));
+  }
+
   for (int day = 0; day < config_.days; ++day) {
     // The day's traffic, identical for every bucket.
     Rng traffic(Mix(config_.seed) ^ Mix(static_cast<std::uint64_t>(day) + 17));
@@ -80,43 +100,50 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
       }
     }
 
-    // Pre-build the day's scoring examples (position 0 = scoring context).
-    std::vector<data::Example> scoring;
-    scoring.reserve(stream.size() *
-                    static_cast<std::size_t>(config_.candidates_per_pv));
+    // Pre-build the day's scoring rows (position 0 = scoring context),
+    // deduplicated: the skew-sampled candidate lists repeat (user, item)
+    // pairs heavily, and every duplicate used to re-run its embedding
+    // lookups and tower forward in every bucket. Each distinct pair is now
+    // scored once per bucket and broadcast back to its candidate slots —
+    // same scores (forward rows are independent), strictly less work.
+    const std::int64_t day_candidates =
+        static_cast<std::int64_t>(stream.size()) * config_.candidates_per_pv;
+    std::vector<data::Example> unique_rows;
+    std::vector<std::size_t> slot_to_row;  // candidate slot -> unique row
+    slot_to_row.reserve(static_cast<std::size_t>(day_candidates));
+    std::unordered_map<std::uint64_t, std::size_t> row_index;
     for (const PvRequest& pv : stream) {
       for (int item : pv.candidates) {
-        scoring.push_back(generator_->MakeExample(pv.user, item, /*position=*/0));
+        const std::uint64_t key = static_cast<std::uint64_t>(pv.user) << 32 |
+                                  static_cast<std::uint32_t>(item);
+        auto [it, inserted] = row_index.emplace(key, unique_rows.size());
+        if (inserted) {
+          unique_rows.push_back(
+              generator_->MakeExample(pv.user, item, /*position=*/0));
+        }
+        slot_to_row.push_back(it->second);
       }
     }
-    const data::Dataset day_dataset("ab-day", generator_->Schema(),
-                                    std::move(scoring));
 
     for (std::size_t b = 0; b < bucket_models.size(); ++b) {
-      // Score all candidates in chunks.
+      // Score the unique rows through the bucket's serving engine, then
+      // expand to per-candidate-slot columns.
       std::vector<float> score_ctcvr;
       std::vector<float> score_cvr;
-      score_ctcvr.reserve(static_cast<std::size_t>(day_dataset.size()));
-      score_cvr.reserve(static_cast<std::size_t>(day_dataset.size()));
-      constexpr int kChunk = 4096;
+      score_ctcvr.reserve(slot_to_row.size());
+      score_cvr.reserve(slot_to_row.size());
       {
-        obs::TraceSpan score_span("ab/score", "candidates", day_dataset.size());
+        obs::TraceSpan score_span("ab/score", "candidates", day_candidates);
         const std::int64_t score_t0 = obs::NowNanos();
-        for (std::int64_t first = 0; first < day_dataset.size();
-             first += kChunk) {
-          const int count = static_cast<int>(
-              std::min<std::int64_t>(kChunk, day_dataset.size() - first));
-          const data::Batch batch =
-              data::MakeContiguousBatch(day_dataset, first, count);
-          const models::Predictions preds = bucket_models[b]->Forward(batch);
-          const std::vector<float> ctcvr = models::ColumnToVector(preds.ctcvr);
-          const std::vector<float> cvr = models::ColumnToVector(preds.cvr);
-          score_ctcvr.insert(score_ctcvr.end(), ctcvr.begin(), ctcvr.end());
-          score_cvr.insert(score_cvr.end(), cvr.begin(), cvr.end());
+        const std::vector<serve::Score> unique_scores =
+            engines[b]->ScoreAll(unique_rows);
+        for (const std::size_t row : slot_to_row) {
+          score_ctcvr.push_back(unique_scores[row].pctcvr);
+          score_cvr.push_back(unique_scores[row].pcvr);
         }
         obs_score_seconds[b].Add(
             static_cast<double>(obs::NowNanos() - score_t0) * 1e-9);
-        obs_scored.Inc(day_dataset.size());
+        obs_scored.Inc(day_candidates);
       }
       if (day == 0) {
         results[b].day1_cvr_predictions = score_cvr;

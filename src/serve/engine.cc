@@ -1,0 +1,191 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace dcmt {
+namespace serve {
+namespace {
+
+[[noreturn]] void Fatal(const char* msg) {
+  std::fprintf(stderr, "dcmt serve fatal: %s\n", msg);
+  std::abort();
+}
+
+// Fixed histogram geometries: metric names are a global contract, so the
+// bounds must not depend on any one engine's config (two engines with
+// different configs share these cells).
+constexpr int kBatchSizeBins = 32;
+constexpr double kBatchSizeHi = 1024.0;
+constexpr int kQueueDepthBins = 64;
+constexpr double kQueueDepthHi = 4096.0;
+constexpr int kLatencyBins = 64;
+constexpr double kLatencyHiSeconds = 1.0;
+
+}  // namespace
+
+Engine::Engine(const FrozenModel* model, EngineConfig config)
+    : model_(model), config_(config) {
+  if (model_ == nullptr) Fatal("Engine requires a FrozenModel");
+  if (config_.max_batch < 1 || config_.queue_capacity < 1 ||
+      config_.max_wait_micros < 0) {
+    Fatal("EngineConfig: max_batch/queue_capacity must be >= 1, max_wait >= 0");
+  }
+  obs::Registry& registry = obs::Registry::Global();
+  obs_requests_ = registry.counter("dcmt_serve_requests_total");
+  obs_batches_ = registry.counter("dcmt_serve_batches_total");
+  obs_queue_depth_ = registry.histogram("dcmt_serve_queue_depth",
+                                        kQueueDepthBins, 0.0, kQueueDepthHi);
+  obs_batch_size_ = registry.histogram("dcmt_serve_batch_size", kBatchSizeBins,
+                                       0.0, kBatchSizeHi);
+  obs_latency_seconds_ = registry.histogram(
+      "dcmt_serve_request_latency_seconds", kLatencyBins, 0.0,
+      kLatencyHiSeconds);
+  obs_score_seconds_ = registry.sum("dcmt_serve_score_seconds_total");
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Engine::~Engine() { Shutdown(); }
+
+std::future<Score> Engine::Submit(data::Example example) {
+  std::promise<Score> promise;
+  std::future<Score> future = promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) Fatal("Submit() after Shutdown()");
+    queue_space_.wait(lk, [this] {
+      return static_cast<int>(queue_.size()) < config_.queue_capacity ||
+             stopping_;
+    });
+    if (stopping_) Fatal("Submit() raced with Shutdown()");
+    Request request;
+    request.example = std::move(example);
+    request.promise = std::move(promise);
+    request.enqueue_ns = obs::NowNanos();
+    queue_.push_back(std::move(request));
+    ++stats_.submitted;
+    stats_.max_queue_depth = std::max(
+        stats_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
+    obs_queue_depth_.Observe(static_cast<double>(queue_.size()));
+  }
+  obs_requests_.Inc();
+  queue_ready_.notify_one();
+  return future;
+}
+
+Score Engine::ScoreSync(data::Example example) {
+  return Submit(std::move(example)).get();
+}
+
+std::vector<Score> Engine::ScoreAll(const std::vector<data::Example>& examples) {
+  std::vector<std::future<Score>> futures;
+  futures.reserve(examples.size());
+  for (const data::Example& example : examples) {
+    futures.push_back(Submit(example));
+  }
+  std::vector<Score> scores;
+  scores.reserve(futures.size());
+  for (auto& future : futures) scores.push_back(future.get());
+  return scores;
+}
+
+void Engine::Shutdown() {
+  bool join_here = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stopping_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  queue_ready_.notify_all();
+  queue_space_.notify_all();
+  if (join_here && dispatcher_.joinable()) dispatcher_.join();
+}
+
+EngineStats Engine::stats() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Engine::DispatchLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_ready_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) break;  // stopping_ and fully drained
+
+      // Deadline policy: wait for more rows until either the batch is full
+      // or max_wait has elapsed since the *oldest* queued request arrived.
+      // Shutdown flushes immediately — drained requests still get scored.
+      const std::int64_t deadline_ns =
+          queue_.front().enqueue_ns +
+          static_cast<std::int64_t>(config_.max_wait_micros) * 1000;
+      while (static_cast<int>(queue_.size()) < config_.max_batch &&
+             !stopping_) {
+        const std::int64_t remaining_ns = deadline_ns - obs::NowNanos();
+        if (remaining_ns <= 0) break;
+        queue_ready_.wait_for(lk, std::chrono::nanoseconds(remaining_ns));
+      }
+
+      const int take = std::min<int>(config_.max_batch,
+                                     static_cast<int>(queue_.size()));
+      batch.reserve(static_cast<std::size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (stopping_) {
+        ++stats_.flushed_drain;
+      } else if (take >= config_.max_batch) {
+        ++stats_.flushed_full;
+      } else {
+        ++stats_.flushed_deadline;
+      }
+    }
+    queue_space_.notify_all();
+    ScoreAndFulfill(&batch);
+  }
+}
+
+void Engine::ScoreAndFulfill(std::vector<Request>* batch) {
+  std::vector<data::Example> examples;
+  examples.reserve(batch->size());
+  for (const Request& request : *batch) examples.push_back(request.example);
+
+  const std::int64_t score_t0 = obs::NowNanos();
+  const ScoreColumns columns = model_->ScoreExamples(examples);
+  const std::int64_t done_ns = obs::NowNanos();
+  obs_score_seconds_.Add(static_cast<double>(done_ns - score_t0) * 1e-9);
+  obs_batches_.Inc();
+  obs_batch_size_.Observe(static_cast<double>(batch->size()));
+
+  // Count the batch before fulfilling any promise: a caller whose future
+  // just resolved must already see itself in stats() (ScoreSync-then-stats
+  // is a natural pattern, and the tests rely on it).
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++stats_.batches;
+    stats_.scored += static_cast<std::int64_t>(batch->size());
+    stats_.max_batch_scored = std::max(
+        stats_.max_batch_scored, static_cast<std::int64_t>(batch->size()));
+  }
+
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    Score score;
+    score.pctr = columns.pctr[i];
+    score.pcvr = columns.pcvr[i];
+    score.pctcvr = columns.pctcvr[i];
+    obs_latency_seconds_.Observe(
+        static_cast<double>(done_ns - (*batch)[i].enqueue_ns) * 1e-9);
+    (*batch)[i].promise.set_value(score);
+  }
+}
+
+}  // namespace serve
+}  // namespace dcmt

@@ -1,0 +1,134 @@
+#ifndef DCMT_SERVE_ENGINE_H_
+#define DCMT_SERVE_ENGINE_H_
+
+// The serving engine is, with src/core/, one of the two sanctioned
+// concurrency sites in the tree (enforced by the dcmt_lint concurrency
+// rule): it owns the bounded request queue and its dispatcher thread.
+// Scoring itself still fans out through core::ThreadPool.
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/obs.h"
+#include "data/example.h"
+#include "serve/frozen_model.h"
+
+namespace dcmt {
+namespace serve {
+
+/// Micro-batching policy knobs (DESIGN.md §13).
+struct EngineConfig {
+  /// Flush as soon as this many requests have coalesced.
+  int max_batch = 256;
+  /// Flush a partial batch this long after its *oldest* request arrived.
+  int max_wait_micros = 200;
+  /// Submit() blocks (backpressure) while this many requests are queued.
+  int queue_capacity = 4096;
+};
+
+/// One request's serving scores.
+struct Score {
+  float pctr = 0.0f;
+  float pcvr = 0.0f;
+  float pctcvr = 0.0f;
+};
+
+/// Point-in-time engine counters (all monotone except max_* watermarks).
+struct EngineStats {
+  std::int64_t submitted = 0;
+  std::int64_t scored = 0;
+  std::int64_t batches = 0;
+  std::int64_t flushed_full = 0;      // batch reached max_batch
+  std::int64_t flushed_deadline = 0;  // max_wait expired on a partial batch
+  std::int64_t flushed_drain = 0;     // flushed while shutting down
+  std::int64_t max_queue_depth = 0;
+  std::int64_t max_batch_scored = 0;
+};
+
+/// Micro-batching scoring engine over a FrozenModel (DESIGN.md §13).
+///
+/// Producers Submit() single rows into a bounded MPSC queue; one dispatcher
+/// thread coalesces them into batches under a max-batch/max-wait deadline
+/// policy and scores each batch through FrozenModel::ScoreExamples (which
+/// fans out across core::ThreadPool). Each Submit returns a future fulfilled
+/// when its batch completes.
+///
+/// Determinism: per-row forward kernels are batch-composition-independent
+/// (see FrozenModel), so a request's Score does not depend on which requests
+/// it happened to coalesce with — timing changes batching, never values.
+///
+/// Shutdown (or destruction) stops accepting new work, drains every queued
+/// request through scoring — no request is ever dropped — and joins the
+/// dispatcher. Submitting after Shutdown aborts.
+///
+/// Observability: queue depth, batch size, and request latency histograms
+/// plus request/batch counters, recorded through dcmt::obs under
+/// dcmt_serve_* names.
+class Engine {
+ public:
+  /// `model` is non-owning and must outlive the engine.
+  explicit Engine(const FrozenModel* model, EngineConfig config = {});
+  ~Engine();  // == Shutdown()
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues one row; blocks while the queue is at capacity. The returned
+  /// future is fulfilled by the dispatcher after the row's batch is scored.
+  std::future<Score> Submit(data::Example example);
+
+  /// Submit + wait, for callers without their own pipelining.
+  Score ScoreSync(data::Example example);
+
+  /// Bulk helper: submits every row (pipelining against the dispatcher) and
+  /// waits for all scores, returned in input order.
+  std::vector<Score> ScoreAll(const std::vector<data::Example>& examples);
+
+  /// Drains all queued requests through scoring, then joins the dispatcher.
+  /// Idempotent.
+  void Shutdown();
+
+  EngineStats stats() const;
+  const FrozenModel& model() const { return *model_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    data::Example example;
+    std::promise<Score> promise;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  void DispatchLoop();
+  void ScoreAndFulfill(std::vector<Request>* batch);
+
+  const FrozenModel* model_;
+  const EngineConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_ready_;  // producers -> dispatcher
+  std::condition_variable queue_space_;  // dispatcher -> blocked producers
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool joined_ = false;
+  EngineStats stats_;
+
+  // obs handles (acquired once; recording is a no-op while obs is disabled).
+  obs::Counter obs_requests_;
+  obs::Counter obs_batches_;
+  obs::Histogram obs_queue_depth_;
+  obs::Histogram obs_batch_size_;
+  obs::Histogram obs_latency_seconds_;
+  obs::Sum obs_score_seconds_;
+
+  std::thread dispatcher_;  // started last: DispatchLoop reads members above
+};
+
+}  // namespace serve
+}  // namespace dcmt
+
+#endif  // DCMT_SERVE_ENGINE_H_

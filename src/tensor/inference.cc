@@ -1,0 +1,98 @@
+#include "tensor/inference.h"
+
+#include <utility>
+
+namespace dcmt {
+namespace {
+
+// Per-thread inference state. The guard depth and the arena are plain
+// thread_locals — no synchronization anywhere: a guard only ever affects
+// tensors created and destroyed on its own thread, and release outside an
+// active guard falls back to a normal free (see ReleaseBuffer), so the
+// arena is never touched from another thread or after thread teardown.
+thread_local int tls_guard_depth = 0;
+
+/// Freelist arena. Bounded so a pathological mix of batch shapes cannot
+/// grow idle memory without limit; beyond the cap released buffers are
+/// simply freed.
+struct Arena {
+  static constexpr std::size_t kMaxPooled = 256;
+  std::vector<std::vector<float>> free_list;
+  inference::ArenaStats stats;
+};
+
+Arena& ThreadArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+InferenceGuard::InferenceGuard() { ++tls_guard_depth; }
+InferenceGuard::~InferenceGuard() { --tls_guard_depth; }
+bool InferenceGuard::Active() { return tls_guard_depth > 0; }
+
+namespace inference {
+
+ArenaStats ThreadArenaStats() {
+  Arena& arena = ThreadArena();
+  ArenaStats stats = arena.stats;
+  stats.pooled_buffers = static_cast<std::int64_t>(arena.free_list.size());
+  std::int64_t floats = 0;
+  for (const auto& buf : arena.free_list) {
+    floats += static_cast<std::int64_t>(buf.capacity());
+  }
+  stats.pooled_floats = floats;
+  return stats;
+}
+
+void ClearThreadArena() {
+  Arena& arena = ThreadArena();
+  arena.free_list.clear();
+  arena.free_list.shrink_to_fit();
+}
+
+std::vector<float> AcquireBuffer(std::size_t n) {
+  Arena& arena = ThreadArena();
+  ++arena.stats.acquires;
+  // Best fit: the smallest pooled buffer whose capacity already covers n.
+  // Linear scan — the freelist holds at most a few dozen distinct activation
+  // shapes in steady state, and serving batches reuse the same shapes every
+  // call, so the first batch populates the list and later scans hit early.
+  std::size_t best = arena.free_list.size();
+  for (std::size_t i = 0; i < arena.free_list.size(); ++i) {
+    if (arena.free_list[i].capacity() < n) continue;
+    if (best == arena.free_list.size() ||
+        arena.free_list[i].capacity() < arena.free_list[best].capacity()) {
+      best = i;
+    }
+  }
+  std::vector<float> buffer;
+  if (best < arena.free_list.size()) {
+    ++arena.stats.reuses;
+    buffer = std::move(arena.free_list[best]);
+    arena.free_list[best] = std::move(arena.free_list.back());
+    arena.free_list.pop_back();
+  }
+  // Kernels accumulate into freshly created outputs (e.g. MatMul's += inner
+  // loop), so recycled storage must come back zeroed exactly like NewImpl's
+  // assign() on the training path.
+  buffer.assign(n, 0.0f);
+  return buffer;
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  // Pool only while a guard is active on this thread: that is the only time
+  // the thread_local arena is guaranteed alive (a pooled tensor can outlive
+  // its creating thread; its destructor then runs here with no guard and
+  // the storage is freed normally).
+  if (!InferenceGuard::Active()) return;
+  Arena& arena = ThreadArena();
+  if (arena.free_list.size() >= Arena::kMaxPooled) return;
+  ++arena.stats.releases;
+  arena.free_list.push_back(std::move(buffer));
+}
+
+}  // namespace inference
+}  // namespace dcmt

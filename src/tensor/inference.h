@@ -1,0 +1,69 @@
+#ifndef DCMT_TENSOR_INFERENCE_H_
+#define DCMT_TENSOR_INFERENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcmt {
+
+/// Scoped inference mode for the tensor engine (DESIGN.md §13).
+///
+/// While a guard is alive on a thread, every tensor the thread creates is a
+/// pure value: requires_grad is forced off, MakeNode stores no parent edges,
+/// and — because every op in ops.cc gates its backward closure on
+/// out.requires_grad() — no backward closures are captured. Forward values
+/// are bit-identical to the taped path (the kernels never read graph state),
+/// which is the serving parity contract serve::FrozenModel is built on.
+///
+/// Activation storage under a guard is drawn from a per-thread arena: a
+/// freelist of float buffers recycled across ScoreBatch calls, so steady-
+/// state serving performs no large allocations. Buffers return to the arena
+/// when the tensor dies while a guard is active on the destroying thread;
+/// tensors that escape the scope free their storage normally.
+///
+/// Guards nest (a guarded region may call a helper that takes its own
+/// guard) and are strictly per-thread: concurrent training on other threads
+/// keeps building tapes untouched.
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+  /// True while any InferenceGuard is alive on the calling thread.
+  static bool Active();
+};
+
+namespace inference {
+
+/// Counters of the calling thread's activation arena.
+struct ArenaStats {
+  std::int64_t acquires = 0;        // buffers requested under a guard
+  std::int64_t reuses = 0;          // of those, served from the freelist
+  std::int64_t releases = 0;        // buffers returned to the freelist
+  std::int64_t pooled_buffers = 0;  // currently idle in the freelist
+  std::int64_t pooled_floats = 0;   // idle capacity, in floats
+};
+
+/// Snapshot of this thread's arena counters (tests, serve-bench reporting).
+ArenaStats ThreadArenaStats();
+
+/// Drops every pooled buffer of this thread's arena (tests; also useful
+/// before thread exit on long-lived dispatchers to bound idle memory).
+void ClearThreadArena();
+
+// --- Internal seam used by tensor.cc; not part of the modeling API. --------
+
+/// Returns a zero-filled buffer of `n` floats, recycling freelist storage
+/// when possible. Only called while InferenceGuard::Active().
+std::vector<float> AcquireBuffer(std::size_t n);
+
+/// Returns a buffer to the calling thread's freelist.
+void ReleaseBuffer(std::vector<float>&& buffer);
+
+}  // namespace inference
+}  // namespace dcmt
+
+#endif  // DCMT_TENSOR_INFERENCE_H_

@@ -1,8 +1,14 @@
 #include "tensor/tensor.h"
 
+// The live-graph-node count must be exact when serving threads score while a
+// trainer builds tapes, hence one relaxed atomic rather than a pool round.
+// dcmt-lint: allow(concurrency) — single relaxed counter, no locking protocol.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_set>
+
+#include "tensor/inference.h"
 
 #if defined(__GLIBC__)
 #include <malloc.h>
@@ -31,22 +37,56 @@ namespace {
   std::abort();
 }
 
+// Count of live Impls holding parent edges — "is any tape alive" for the
+// serving no-leak tests. Relaxed is enough: tests read it only at quiescent
+// points (no concurrent MakeNode in flight).
+// dcmt-lint: allow(concurrency) — single relaxed counter, no locking protocol.
+std::atomic<std::int64_t> g_live_graph_nodes{0};
+
 std::shared_ptr<Tensor::Impl> NewImpl(int rows, int cols, bool requires_grad) {
   if (rows <= 0 || cols <= 0) Fatal("tensor dimensions must be positive");
   auto impl = std::make_shared<Tensor::Impl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<std::size_t>(rows) * cols, 0.0f);
-  impl->requires_grad = requires_grad;
+  // Inference mode (DESIGN.md §13): activations are pure values drawn from
+  // the per-thread arena, and nothing created under the guard may join an
+  // autograd graph.
+  if (InferenceGuard::Active()) {
+    impl->data = inference::AcquireBuffer(static_cast<std::size_t>(rows) * cols);
+    impl->pooled = true;
+    impl->requires_grad = false;
+  } else {
+    impl->data.assign(static_cast<std::size_t>(rows) * cols, 0.0f);
+    impl->requires_grad = requires_grad;
+  }
   return impl;
 }
 
 }  // namespace
 
+Tensor::Impl::~Impl() {
+  if (counted_graph_node) {
+    g_live_graph_nodes.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (pooled) inference::ReleaseBuffer(std::move(data));
+}
+
+std::int64_t Tensor::LiveGraphNodesForTesting() {
+  return g_live_graph_nodes.load(std::memory_order_relaxed);
+}
+
 Tensor Tensor::MakeNode(int rows, int cols, std::vector<Tensor> parents,
                         bool requires_grad) {
   auto impl = NewImpl(rows, cols, requires_grad);
-  impl->parents = std::move(parents);
+  // Under an InferenceGuard the node records no history: no parent edges, no
+  // backward closure (ops.cc skips closure capture because requires_grad is
+  // forced off above). The parents vector dies here and with it the only
+  // per-op graph bookkeeping cost of the serving path.
+  if (!InferenceGuard::Active() && !parents.empty()) {
+    impl->parents = std::move(parents);
+    impl->counted_graph_node = true;
+    g_live_graph_nodes.fetch_add(1, std::memory_order_relaxed);
+  }
   return Tensor(std::move(impl));
 }
 

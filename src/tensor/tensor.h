@@ -108,6 +108,13 @@ class Tensor {
   /// Identity used for graph bookkeeping and debugging.
   const void* id() const { return impl_.get(); }
 
+  /// Number of live graph nodes (tensors holding parent edges) across the
+  /// whole process. Leaves and inference-mode tensors never count, so after
+  /// a tape is released — or after any amount of InferenceGuard scoring —
+  /// this returns to its prior value. Exposed for the serving no-leak
+  /// property tests (DESIGN.md §13).
+  static std::int64_t LiveGraphNodesForTesting();
+
   /// Optional debug name (used by Module parameter registration).
   const std::string& name() const;
   void set_name(std::string name);
@@ -143,11 +150,18 @@ class Tensor {
 /// Storage + graph node behind a Tensor handle. Public so that ops.cc (and
 /// only it, by convention) can build backward closures against raw pointers.
 struct Tensor::Impl {
+  ~Impl();  // returns pooled storage / updates the live-graph-node count
+
   int rows = 0;
   int cols = 0;
   std::vector<float> data;
   std::vector<float> grad;  // lazily allocated
   bool requires_grad = false;
+  /// Storage came from the per-thread inference arena (tensor.cc returns it
+  /// there on destruction when an InferenceGuard is active).
+  bool pooled = false;
+  /// This node holds parent edges and is counted by LiveGraphNodesForTesting.
+  bool counted_graph_node = false;
   std::string name;
 
   // Graph structure. Leaves have no parents and no backward_fn.

@@ -2,7 +2,10 @@
 // evaluator protocol correctness, the experiment runner, the ASCII table
 // renderer, and the online A/B simulator's invariants.
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +19,7 @@
 #include "eval/oracle_ranker.h"
 #include "eval/table.h"
 #include "eval/trainer.h"
+#include "tensor/random.h"
 
 namespace dcmt {
 namespace {
@@ -311,6 +315,52 @@ TEST(OracleRankerTest, EmitsGroundTruthPropensities) {
                     test.examples()[static_cast<std::size_t>(i)].true_cvr);
   }
   EXPECT_EQ(oracle.ParameterCount(), 0);
+}
+
+TEST_F(OnlineAbTest, BucketScoresMatchTapedForwardOverRawCandidateList) {
+  // Regression for the serving rewrite: the simulator now dedupes repeated
+  // (user, item) candidates and scores them tape-free through serve::Engine.
+  // Day-1 CVR predictions must still equal, bit for bit, a taped Forward
+  // over the *raw* (duplicated) candidate list — the pre-dedupe semantics.
+  eval::OnlineAbSimulator sim(generator_.get(), config_);
+  const auto results = sim.Run({model_b_.get()}, {"dcmt"});
+  const std::vector<float>& got = results[0].day1_cvr_predictions;
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(50 * 8));
+
+  // Rebuild day 0's candidate stream exactly as the simulator draws it
+  // (same splitmix64 day seed, same draw order, same skew transform).
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  Rng traffic(mix(config_.seed) ^ mix(17));
+  std::vector<data::Example> raw_rows;
+  raw_rows.reserve(got.size());
+  for (int pv = 0; pv < config_.page_views_per_day; ++pv) {
+    const int user = static_cast<int>(
+        traffic.NextBounded(static_cast<std::uint64_t>(profile_.num_users)));
+    for (int c = 0; c < config_.candidates_per_pv; ++c) {
+      const float skew = traffic.Uniform();
+      const int item =
+          std::min(profile_.num_items - 1,
+                   static_cast<int>(skew * skew * profile_.num_items));
+      raw_rows.push_back(generator_->MakeExample(user, item, /*position=*/0));
+    }
+  }
+  ASSERT_EQ(raw_rows.size(), got.size());
+
+  // Taped reference: one training-path Forward over all duplicated rows.
+  std::vector<std::int64_t> indices(raw_rows.size());
+  std::iota(indices.begin(), indices.end(), std::int64_t{0});
+  const data::Batch batch =
+      data::MakeBatch(raw_rows, indices, 0, static_cast<int>(raw_rows.size()),
+                      generator_->Schema());
+  const models::Predictions preds = model_b_->Forward(batch);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], preds.cvr.at(static_cast<int>(i), 0)) << "slot " << i;
+  }
 }
 
 TEST_F(OnlineAbTest, PosteriorLevelsAreOrdered) {

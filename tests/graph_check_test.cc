@@ -12,6 +12,9 @@
 #include "data/batcher.h"
 #include "data/profiles.h"
 #include "nn/graph_check.h"
+#include "serve/frozen_model.h"
+#include "tensor/gradcheck.h"
+#include "tensor/inference.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -66,6 +69,61 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ModelTapeTest,
                            }
                            return name;
                          });
+
+// --- InferenceGuard leaves no state behind (DESIGN.md §13). ----------------
+
+TEST(InferenceGuardPropertyTest, GuardedScoringLeavesTapeCountersUntouched) {
+  const data::Batch batch = SmallBatch();
+  models::ModelConfig config;
+  config.embedding_dim = 8;
+  config.seed = 7;
+  auto model = core::CreateModel("dcmt", SmallSchema(), config);
+  const std::int64_t live_before = Tensor::LiveGraphNodesForTesting();
+  serve::FrozenModel frozen =
+      serve::FrozenModel::View(model.get(), SmallSchema());
+  const serve::ScoreColumns scores = frozen.ScoreBatch(batch);
+  ASSERT_EQ(scores.pctcvr.size(), 32u);
+  // No graph node survives a guarded forward: the tape is exactly as empty
+  // as it was before scoring.
+  EXPECT_EQ(Tensor::LiveGraphNodesForTesting(), live_before);
+}
+
+TEST(InferenceGuardPropertyTest, TrainingTapeStillValidatesAfterScoring) {
+  const data::Batch batch = SmallBatch();
+  models::ModelConfig config;
+  config.embedding_dim = 8;
+  config.seed = 7;
+  auto model = core::CreateModel("dcmt", SmallSchema(), config);
+  serve::FrozenModel frozen =
+      serve::FrozenModel::View(model.get(), SmallSchema());
+  frozen.ScoreBatch(batch);
+  // A training step taken right after guarded scoring must build the same
+  // clean tape it always does.
+  const models::Predictions preds = model->Forward(batch);
+  const Tensor loss = model->Loss(batch, preds);
+  const nn::GraphCheckResult result = nn::CheckGraph(loss, model->parameters());
+  EXPECT_TRUE(result.ok()) << result.Report();
+  EXPECT_GT(result.nodes_visited, 0);
+}
+
+TEST(InferenceGuardPropertyTest, GradcheckPassesAfterGuardedScoring) {
+  const data::Batch batch = SmallBatch();
+  models::ModelConfig config;
+  config.embedding_dim = 8;
+  config.seed = 7;
+  auto model = core::CreateModel("dcmt", SmallSchema(), config);
+  Tensor w = Tensor::Full(3, 2, 0.5f, /*requires_grad=*/true);
+  Tensor x = Tensor::Full(4, 3, 1.0f);
+  Tensor y = Tensor::Full(4, 2, 1.0f);
+  const auto loss_fn = [&] {
+    // Interleave guarded serving with the gradcheck's graph rebuilds: the
+    // guard must not bleed into the taped loss it is sandwiched between.
+    serve::FrozenModel::View(model.get(), SmallSchema()).ScoreBatch(batch);
+    return ops::Sum(ops::BceLoss(ops::Sigmoid(ops::MatMul(x, w)), y));
+  };
+  const GradCheckResult result = CheckGradients(loss_fn, {w});
+  EXPECT_TRUE(result.ok) << result.worst;
+}
 
 TEST(GraphCheckTest, SimpleOpsGraphValidates) {
   Tensor w = Tensor::Full(3, 2, 0.5f, /*requires_grad=*/true);

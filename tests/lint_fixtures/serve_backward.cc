@@ -1,0 +1,14 @@
+// Seeded violation fixture: tape mutation in a (pretend) serving file.
+// Under src/serve/ every one of these calls is a serve-no-backward finding;
+// under any training-stack path they are ordinary autograd usage.
+#include "tensor/tensor.h"
+
+namespace dcmt {
+
+void ScoreAndAccidentallyTrain(Tensor loss, Tensor param) {
+  loss.Backward();
+  param.EnsureGrad();
+  param.ZeroGrad();
+}
+
+}  // namespace dcmt

@@ -47,6 +47,27 @@ TEST(LintTest, ConcurrencySanctionedInsideCore) {
   EXPECT_EQ(CountRule(diags, "concurrency"), 0);
 }
 
+TEST(LintTest, ConcurrencySanctionedInsideServe) {
+  // The serving engine owns its queue/dispatcher primitives (DESIGN.md §13).
+  const std::string content = ReadFixture("concurrency.cc");
+  const auto diags = LintFileContent("src/serve/concurrency.cc", content, "");
+  EXPECT_EQ(CountRule(diags, "concurrency"), 0);
+}
+
+TEST(LintTest, ServeNoBackwardFlaggedUnderServe) {
+  const std::string content = ReadFixture("serve_backward.cc");
+  const auto diags = LintFileContent("src/serve/serve_backward.cc", content, "");
+  // Backward(), EnsureGrad(), ZeroGrad() — one finding each.
+  EXPECT_EQ(CountRule(diags, "serve-no-backward"), 3);
+}
+
+TEST(LintTest, TapeMutationAllowedOutsideServe) {
+  const std::string content = ReadFixture("serve_backward.cc");
+  const auto diags =
+      LintFileContent("src/models/serve_backward.cc", content, "");
+  EXPECT_EQ(CountRule(diags, "serve-no-backward"), 0);
+}
+
 TEST(LintTest, RawNewDeleteFlagged) {
   const auto diags = LintFileContent("src/models/raw_new_delete.cc",
                                      ReadFixture("raw_new_delete.cc"), "");

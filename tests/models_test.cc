@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include "core/registry.h"
+#include "core/thread_pool.h"
 #include "data/batcher.h"
 #include "data/generator.h"
 #include "data/profiles.h"
 #include "models/common.h"
 #include "optim/adam.h"
+#include "serve/frozen_model.h"
 #include "tensor/ops.h"
 
 namespace dcmt {
@@ -74,6 +76,31 @@ TEST_P(ModelZooTest, ForwardShapesAndRanges) {
       EXPECT_LT(t->at(i, 0), 1.0f);
     }
   }
+}
+
+TEST_P(ModelZooTest, FrozenServingScoresMatchTapedForwardBitExact) {
+  // Train/serve parity (DESIGN.md §13): the tape-free serving forward must
+  // reproduce the training forward bit for bit, serial and parallel.
+  const models::Predictions preds = model_->Forward(batch_);
+  serve::FrozenModel frozen =
+      serve::FrozenModel::View(model_.get(), train_.schema());
+  const serve::ScoreColumns serial = frozen.ScoreBatch(batch_);
+  ASSERT_EQ(serial.pctcvr.size(), 128u);
+  for (int i = 0; i < 128; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i);
+    EXPECT_EQ(serial.pctr[row], preds.ctr.at(i, 0)) << "row " << i;
+    EXPECT_EQ(serial.pcvr[row], preds.cvr.at(i, 0)) << "row " << i;
+    EXPECT_EQ(serial.pctcvr[row], preds.ctcvr.at(i, 0)) << "row " << i;
+  }
+  // Same bits with multi-chunk parallel kernels.
+  core::ThreadPool::Global().SetNumThreads(4);
+  core::SetGrainCapForTesting(1);
+  const serve::ScoreColumns threaded = frozen.ScoreBatch(batch_);
+  core::SetGrainCapForTesting(0);
+  core::ThreadPool::Global().SetNumThreads(1);
+  EXPECT_EQ(threaded.pctr, serial.pctr);
+  EXPECT_EQ(threaded.pcvr, serial.pcvr);
+  EXPECT_EQ(threaded.pctcvr, serial.pctcvr);
 }
 
 TEST_P(ModelZooTest, CtcvrIsProductOfCtrAndCvr) {

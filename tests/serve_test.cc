@@ -1,0 +1,325 @@
+// Tests for the tape-free serving stack (DESIGN.md §13): train/serve parity
+// through a checkpoint round-trip for every zoo variant (bit-exact at one
+// and at several threads), the micro-batching engine's coalescing/flush/
+// drain behaviour, the inference arena, and FrozenModel::Load validation.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/thread_pool.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "data/profiles.h"
+#include "nn/serialize.h"
+#include "optim/adam.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
+#include "tensor/inference.h"
+#include "tensor/tensor.h"
+
+namespace dcmt {
+namespace {
+
+data::DatasetProfile TinyProfile() {
+  data::DatasetProfile p;
+  p.name = "tiny";
+  p.num_users = 50;
+  p.num_items = 80;
+  p.train_exposures = 600;
+  p.test_exposures = 200;
+  p.target_click_rate = 0.3;
+  p.target_cvr_given_click = 0.3;
+  p.seed = 11;
+  return p;
+}
+
+models::ModelConfig TinyConfig() {
+  models::ModelConfig c;
+  c.embedding_dim = 4;
+  c.hidden_dims = {8, 4};
+  c.num_experts = 2;
+  c.specific_experts = 1;
+  c.shared_experts = 1;
+  c.seed = 5;
+  return c;
+}
+
+std::string CheckpointPath(const std::string& name) {
+  return ::testing::TempDir() + "/serve_" + name + ".ckpt";
+}
+
+std::vector<float> Column(const Tensor& t) {
+  std::vector<float> out(static_cast<std::size_t>(t.rows()));
+  for (int i = 0; i < t.rows(); ++i) {
+    out[static_cast<std::size_t>(i)] = t.at(i, 0);
+  }
+  return out;
+}
+
+/// RAII thread configuration: parallel for the scope, serial after.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) {
+    core::ThreadPool::Global().SetNumThreads(threads);
+    core::SetGrainCapForTesting(1);  // force multi-chunk kernels on tiny rows
+  }
+  ~ScopedThreads() {
+    core::SetGrainCapForTesting(0);
+    core::ThreadPool::Global().SetNumThreads(1);
+  }
+};
+
+// --- Train → checkpoint → FrozenModel parity, all 13 zoo variants. ---------
+
+class ServeZooTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    data::SyntheticLogGenerator gen(TinyProfile());
+    train_ = gen.GenerateTrain();
+    batch_ = data::MakeContiguousBatch(train_, 0, 96);
+    model_ = core::CreateModel(GetParam(), train_.schema(), TinyConfig());
+    // A few real optimizer steps so the checkpoint is not the init state.
+    optim::Adam adam(model_->parameters(), 0.01f);
+    for (int step = 0; step < 3; ++step) {
+      adam.ZeroGrad();
+      const models::Predictions preds = model_->Forward(batch_);
+      Tensor loss = model_->Loss(batch_, preds);
+      loss.Backward();
+      adam.Step();
+    }
+  }
+
+  data::Dataset train_;
+  data::Batch batch_;
+  std::unique_ptr<models::MultiTaskModel> model_;
+};
+
+TEST_P(ServeZooTest, CheckpointRoundTripServesBitExactAtOneAndManyThreads) {
+  // Reference: the taped training-path Forward on the trained weights.
+  const models::Predictions preds = model_->Forward(batch_);
+  const std::vector<float> want_ctr = Column(preds.ctr);
+  const std::vector<float> want_cvr = Column(preds.cvr);
+  const std::vector<float> want_ctcvr = Column(preds.ctcvr);
+
+  const std::string path = CheckpointPath(GetParam());
+  ASSERT_TRUE(nn::SaveParameters(*model_, path));
+  std::unique_ptr<serve::FrozenModel> frozen = serve::FrozenModel::Load(
+      GetParam(), train_.schema(), TinyConfig(), path);
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_EQ(frozen->name(), GetParam());
+
+  const serve::ScoreColumns serial = frozen->ScoreBatch(batch_);
+  EXPECT_EQ(serial.pctr, want_ctr);
+  EXPECT_EQ(serial.pcvr, want_cvr);
+  EXPECT_EQ(serial.pctcvr, want_ctcvr);
+
+  // The same frozen model must serve the same bits with parallel kernels.
+  {
+    ScopedThreads threads(4);
+    const serve::ScoreColumns threaded = frozen->ScoreBatch(batch_);
+    EXPECT_EQ(threaded.pctr, want_ctr);
+    EXPECT_EQ(threaded.pcvr, want_cvr);
+    EXPECT_EQ(threaded.pctcvr, want_ctcvr);
+  }
+}
+
+TEST_P(ServeZooTest, EngineMicroBatchingPreservesScoresExactly) {
+  // Score through the engine with a deliberately odd max_batch so requests
+  // coalesce into ragged micro-batches, and compare against one-shot
+  // ScoreExamples over the same rows: batch composition must not matter.
+  serve::FrozenModel frozen =
+      serve::FrozenModel::View(model_.get(), train_.schema());
+  std::vector<data::Example> rows(train_.examples().begin(),
+                                  train_.examples().begin() + 41);
+  const serve::ScoreColumns want = frozen.ScoreExamples(rows);
+
+  serve::EngineConfig config;
+  config.max_batch = 7;
+  serve::Engine engine(&frozen, config);
+  const std::vector<serve::Score> got = engine.ScoreAll(rows);
+  ASSERT_EQ(got.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(got[i].pctr, want.pctr[i]) << "row " << i;
+    EXPECT_EQ(got[i].pcvr, want.pcvr[i]) << "row " << i;
+    EXPECT_EQ(got[i].pctcvr, want.pctcvr[i]) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ServeZooTest,
+                         ::testing::ValuesIn(core::ExtendedModelNames()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- FrozenModel construction and validation. ------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticLogGenerator gen(TinyProfile());
+    train_ = gen.GenerateTrain();
+    batch_ = data::MakeContiguousBatch(train_, 0, 64);
+    model_ = core::CreateModel("dcmt", train_.schema(), TinyConfig());
+  }
+
+  serve::FrozenModel Frozen() {
+    return serve::FrozenModel::View(model_.get(), train_.schema());
+  }
+
+  data::Dataset train_;
+  data::Batch batch_;
+  std::unique_ptr<models::MultiTaskModel> model_;
+};
+
+TEST_F(ServeTest, LoadRejectsArchitectureMismatch) {
+  const std::string path = CheckpointPath("mismatch");
+  ASSERT_TRUE(nn::SaveParameters(*model_, path));
+  // Same checkpoint, wrong architecture: Load must refuse, not half-load.
+  EXPECT_EQ(serve::FrozenModel::Load("esmm", train_.schema(), TinyConfig(),
+                                     path),
+            nullptr);
+  EXPECT_EQ(serve::FrozenModel::Load("dcmt", train_.schema(), TinyConfig(),
+                                     ::testing::TempDir() + "/absent.ckpt"),
+            nullptr);
+}
+
+TEST_F(ServeTest, ScoreColumnsAreConsistentProbabilities) {
+  const serve::ScoreColumns scores = Frozen().ScoreBatch(batch_);
+  ASSERT_EQ(scores.pctr.size(), 64u);
+  ASSERT_EQ(scores.pcvr.size(), 64u);
+  ASSERT_EQ(scores.pctcvr.size(), 64u);
+  for (std::size_t i = 0; i < scores.pctr.size(); ++i) {
+    EXPECT_GT(scores.pctr[i], 0.0f);
+    EXPECT_LT(scores.pctr[i], 1.0f);
+    EXPECT_GT(scores.pcvr[i], 0.0f);
+    EXPECT_LT(scores.pcvr[i], 1.0f);
+    EXPECT_NEAR(scores.pctcvr[i], scores.pctr[i] * scores.pcvr[i], 1e-5f);
+  }
+}
+
+TEST_F(ServeTest, ScoreExamplesMatchesScoreBatch) {
+  const serve::FrozenModel frozen = Frozen();
+  std::vector<data::Example> rows(train_.examples().begin(),
+                                  train_.examples().begin() + 64);
+  const serve::ScoreColumns via_examples = frozen.ScoreExamples(rows);
+  const serve::ScoreColumns via_batch = frozen.ScoreBatch(batch_);
+  EXPECT_EQ(via_examples.pctcvr, via_batch.pctcvr);
+}
+
+// --- Inference guard + arena. ----------------------------------------------
+
+TEST_F(ServeTest, ScoringBuildsNoGraphAndLeavesNoLiveNodes) {
+  const std::int64_t before = Tensor::LiveGraphNodesForTesting();
+  const serve::ScoreColumns scores = Frozen().ScoreBatch(batch_);
+  EXPECT_EQ(Tensor::LiveGraphNodesForTesting(), before);
+  EXPECT_EQ(scores.pctcvr.size(), 64u);
+}
+
+TEST_F(ServeTest, ArenaRecyclesActivationBuffersAcrossBatches) {
+  core::ThreadPool::Global().SetNumThreads(1);  // keep kernels on this thread
+  inference::ClearThreadArena();
+  const serve::FrozenModel frozen = Frozen();
+  frozen.ScoreBatch(batch_);
+  const inference::ArenaStats first = inference::ThreadArenaStats();
+  EXPECT_GT(first.acquires, 0);
+  EXPECT_GT(first.pooled_buffers, 0);  // activations were pooled on release
+  frozen.ScoreBatch(batch_);
+  const inference::ArenaStats second = inference::ThreadArenaStats();
+  // The second identical batch reuses the first batch's pooled activations.
+  EXPECT_GT(second.reuses, first.reuses);
+  inference::ClearThreadArena();
+  EXPECT_EQ(inference::ThreadArenaStats().pooled_buffers, 0);
+}
+
+TEST(InferenceGuardTest, ForcesValueOnlyTensorsWhileActive) {
+  const std::int64_t before = Tensor::LiveGraphNodesForTesting();
+  {
+    InferenceGuard guard;
+    EXPECT_TRUE(InferenceGuard::Active());
+    Tensor w = Tensor::Full(3, 2, 0.5f, /*requires_grad=*/true);
+    EXPECT_FALSE(w.requires_grad());  // guard overrides the request
+  }
+  EXPECT_FALSE(InferenceGuard::Active());
+  EXPECT_EQ(Tensor::LiveGraphNodesForTesting(), before);
+}
+
+// --- Engine behaviour. -----------------------------------------------------
+
+TEST_F(ServeTest, EngineSingleRequestMatchesDirectScoring) {
+  const serve::FrozenModel frozen = Frozen();
+  const data::Example row = train_.examples().front();
+  const serve::ScoreColumns want = frozen.ScoreExamples({row});
+  serve::Engine engine(&frozen);
+  const serve::Score got = engine.ScoreSync(row);
+  EXPECT_EQ(got.pctr, want.pctr[0]);
+  EXPECT_EQ(got.pcvr, want.pcvr[0]);
+  EXPECT_EQ(got.pctcvr, want.pctcvr[0]);
+}
+
+TEST_F(ServeTest, EngineDeadlineFlushesPartialBatches) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 1024;  // never reachable: every flush is deadline-driven
+  config.max_wait_micros = 500;
+  serve::Engine engine(&frozen, config);
+  for (int i = 0; i < 3; ++i) {
+    const serve::Score score = engine.ScoreSync(train_.examples()[0]);
+    EXPECT_GT(score.pctcvr, 0.0f);
+  }
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.scored, 3);
+  EXPECT_GE(stats.flushed_deadline, 1);
+  EXPECT_EQ(stats.flushed_full, 0);
+}
+
+TEST_F(ServeTest, EngineShutdownDrainsQueuedRequestsWithoutDrops) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 8;
+  config.max_wait_micros = 1000000;  // 1s: shutdown must beat the deadline
+  serve::Engine engine(&frozen, config);
+  // dcmt-lint: allow(concurrency) — Submit's future tokens carry the scores.
+  std::vector<std::future<serve::Score>> futures;
+  futures.reserve(20);
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(engine.Submit(train_.examples()[0]));
+  }
+  engine.Shutdown();  // drains the queue; idempotent
+  engine.Shutdown();
+  for (auto& f : futures) {
+    EXPECT_TRUE(std::isfinite(f.get().pctcvr));
+  }
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 20);
+  EXPECT_EQ(stats.scored, 20);
+}
+
+TEST_F(ServeTest, EngineStatsTrackBatchesAndWatermarks) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 32;
+  serve::Engine engine(&frozen, config);
+  std::vector<data::Example> rows(100, train_.examples()[0]);
+  engine.ScoreAll(rows);
+  engine.Shutdown();
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 100);
+  EXPECT_EQ(stats.scored, 100);
+  EXPECT_GE(stats.batches, 4);  // 100 rows through max_batch 32
+  EXPECT_LE(stats.max_batch_scored, 32);
+  EXPECT_GE(stats.max_batch_scored, 1);
+  EXPECT_GE(stats.max_queue_depth, 1);
+}
+
+}  // namespace
+}  // namespace dcmt

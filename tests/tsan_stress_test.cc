@@ -7,19 +7,30 @@
 // between bursts, and concurrent experiment repeats sharing tensor kernels.
 
 // This suite stress-tests the ThreadPool itself; std::atomic provides the
-// independent race-free accumulators the assertions need.
+// independent race-free accumulators the assertions need. The serve::Engine
+// scenarios additionally drive real OS submitter threads and hold the
+// engine's future tokens directly — that is the scenario under test, not a
+// convenience.
 // dcmt-lint: allow(concurrency) — pool stress test needs its own atomics.
 #include <atomic>
 #include <cstdint>
+// dcmt-lint: allow(concurrency) — futures carry engine scores cross-thread.
+#include <future>
+#include <memory>
+// dcmt-lint: allow(concurrency) — real submitter threads for the engine.
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/dcmt.h"
 #include "core/thread_pool.h"
+#include "data/generator.h"
 #include "data/profiles.h"
 #include "eval/experiment.h"
 #include "eval/trainer.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
 #include "tensor/ops.h"
 
 namespace dcmt {
@@ -175,6 +186,123 @@ TEST(TsanStress, ConcurrentExperimentRepeats) {
   const eval::ExperimentResult result =
       eval::RunOfflineExperiment("dcmt", train, test, mc, tc, /*repeats=*/4);
   EXPECT_EQ(result.runs.size(), 4u);
+}
+
+// --- serve::Engine under genuine concurrency (DESIGN.md §13). --------------
+
+/// Tiny frozen dcmt model plus pre-built request rows, shared by the engine
+/// stress tests (built once; scoring through it is read-only).
+struct ServeStressFixture {
+  ServeStressFixture() {
+    data::DatasetProfile profile = data::AeEsProfile();
+    profile.train_exposures = 64;
+    profile.test_exposures = 1;
+    generator = std::make_unique<data::SyntheticLogGenerator>(profile);
+    models::ModelConfig config;
+    config.embedding_dim = 4;
+    config.hidden_dims = {8, 4};
+    frozen = std::make_unique<serve::FrozenModel>(
+        std::make_unique<core::Dcmt>(generator->Schema(), config),
+        generator->Schema());
+    rows.reserve(128);
+    for (int i = 0; i < 128; ++i) {
+      rows.push_back(generator->MakeExample(i % 40, (i * 7) % 50, 0));
+    }
+  }
+  std::unique_ptr<data::SyntheticLogGenerator> generator;
+  std::unique_ptr<serve::FrozenModel> frozen;
+  std::vector<data::Example> rows;
+};
+
+ServeStressFixture& ServeFixture() {
+  static ServeStressFixture fixture;
+  return fixture;
+}
+
+TEST(TsanStress, ServeEngineConcurrentSubmitters) {
+  // Several OS threads hammer Submit() while the dispatcher coalesces and
+  // scores: TSan checks the queue's mutex/cv protocol end to end.
+  ScopedParallelConfig config(2, 1);
+  ServeStressFixture& fixture = ServeFixture();
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = 16;
+  engine_config.max_wait_micros = 100;
+  engine_config.queue_capacity = 32;  // small: exercises backpressure too
+  serve::Engine engine(fixture.frozen.get(), engine_config);
+  constexpr int kThreads = 4;
+  constexpr int kRowsPerThread = 32;
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<int> in_range{0};
+  {
+    // dcmt-lint: allow(concurrency) — real submitter threads are the test.
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&engine, &fixture, &in_range, t] {
+        for (int i = 0; i < kRowsPerThread; ++i) {
+          const std::size_t row =
+              static_cast<std::size_t>((t * kRowsPerThread + i) % 128);
+          const serve::Score score = engine.ScoreSync(fixture.rows[row]);
+          if (score.pctcvr > 0.0f && score.pctcvr < 1.0f) {
+            in_range.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& submitter : submitters) submitter.join();
+  }
+  engine.Shutdown();
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kRowsPerThread);
+  EXPECT_EQ(stats.scored, kThreads * kRowsPerThread);
+  EXPECT_EQ(in_range.load(), kThreads * kRowsPerThread);
+}
+
+TEST(TsanStress, ServeEngineDeadlineFlushesUnderConcurrency) {
+  // Unreachable max_batch: every flush is driven by the max-wait deadline,
+  // repeatedly racing the dispatcher's timed wait against new arrivals.
+  ScopedParallelConfig config(2, 1);
+  ServeStressFixture& fixture = ServeFixture();
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = 1024;
+  engine_config.max_wait_micros = 200;
+  serve::Engine engine(fixture.frozen.get(), engine_config);
+  for (int i = 0; i < 8; ++i) {
+    const serve::Score score =
+        engine.ScoreSync(fixture.rows[static_cast<std::size_t>(i)]);
+    EXPECT_GT(score.pctcvr, 0.0f);
+  }
+  engine.Shutdown();
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.scored, 8);
+  EXPECT_GE(stats.flushed_deadline, 1);
+  EXPECT_EQ(stats.flushed_full, 0);
+}
+
+TEST(TsanStress, ServeEngineShutdownDrainsInflightWithoutDrops) {
+  // Shutdown races a full queue: every already-submitted request must still
+  // be scored (drain, never drop), and every future must become ready.
+  ScopedParallelConfig config(2, 1);
+  ServeStressFixture& fixture = ServeFixture();
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = 8;
+  engine_config.max_wait_micros = 1000000;  // drain must beat the deadline
+  serve::Engine engine(fixture.frozen.get(), engine_config);
+  // dcmt-lint: allow(concurrency) — futures carry the drained scores out.
+  std::vector<std::future<serve::Score>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(engine.Submit(fixture.rows[static_cast<std::size_t>(i % 128)]));
+  }
+  engine.Shutdown();
+  int fulfilled = 0;
+  for (auto& f : futures) {
+    const serve::Score score = f.get();
+    if (score.pctcvr > 0.0f) ++fulfilled;
+  }
+  EXPECT_EQ(fulfilled, 64);
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 64);
+  EXPECT_EQ(stats.scored, 64);
 }
 
 }  // namespace

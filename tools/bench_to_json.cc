@@ -150,9 +150,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // family -> threads -> ns/op (last measurement wins).
+  // family -> threads -> mean ns/op. Repeated measurements of the same
+  // (family, threads) key — e.g. --benchmark_repetitions with random
+  // interleaving, which bench_serve uses to defeat in-process ordering
+  // bias — average instead of last-wins.
+  std::map<std::string, std::map<int, std::pair<double, int>>> sums;
+  for (const BenchEntry& e : entries) {
+    auto& slot = sums[e.family][e.threads];
+    slot.first += e.ns_per_op;
+    ++slot.second;
+  }
   std::map<std::string, std::map<int, double>> families;
-  for (const BenchEntry& e : entries) families[e.family][e.threads] = e.ns_per_op;
+  for (const auto& [family, by_threads] : sums) {
+    for (const auto& [threads, sum_count] : by_threads) {
+      families[family][threads] = sum_count.first / sum_count.second;
+    }
+  }
 
   const char* out_path = argv[argc - 1];
   std::ofstream out(out_path);

@@ -16,6 +16,13 @@
 //       statically validates the autograd tape of one model (or every
 //       registered model) on a synthetic batch before any training is spent
 //       on it; also reachable as `dcmt_cli --check-graph`.
+//   dcmt_cli serve-bench [--model=dcmt --ckpt=dcmt.ckpt] [--requests=20000]
+//                        [--max-batch=256 --max-wait-us=200 --threads=N]
+//                        [--metrics-out=metrics.prom]
+//       loadgen against the serve::Engine micro-batcher: freezes the model
+//       (from a checkpoint, or fresh-initialized when --ckpt is omitted),
+//       replays a deterministic synthetic request stream, and reports
+//       throughput plus the engine's batching counters.
 //
 // The checkpoint format is architecture-checked: loading with mismatched
 // --model or hyper-parameters fails loudly instead of mispredicting.
@@ -38,6 +45,9 @@
 #include "eval/trainer.h"
 #include "nn/graph_check.h"
 #include "nn/serialize.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
+#include "tensor/random.h"
 
 namespace {
 
@@ -46,7 +56,8 @@ using namespace dcmt;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: dcmt_cli <generate|train|evaluate|predict|check-graph> [--flags]\n"
+      "usage: dcmt_cli "
+      "<generate|train|evaluate|predict|check-graph|serve-bench> [--flags]\n"
       "run a subcommand with a bogus flag to list its options\n");
   return 2;
 }
@@ -324,6 +335,105 @@ int CheckGraphCmd(int argc, char** argv) {
   return 0;
 }
 
+/// Load-generates against the serving engine: a deterministic stream of
+/// (user, item) score requests is replayed through serve::Engine in bounded
+/// windows (so outstanding futures stay capped), and the run reports wall
+/// throughput plus the engine's own batching counters. With --ckpt the
+/// frozen model comes from a v2 checkpoint; without, it serves the freshly
+/// initialized model (useful for pure engine-overhead measurements).
+int ServeBenchCmd(int argc, char** argv) {
+  const eval::Flags flags(argc, argv,
+                          {{"model", "dcmt"},
+                           {"ckpt", ""},
+                           {"profile", "ae-es"},
+                           {"requests", "20000"},
+                           {"window", "4096"},
+                           {"max-batch", "256"},
+                           {"max-wait-us", "200"},
+                           {"queue-capacity", "4096"},
+                           {"embedding-dim", "16"},
+                           {"lambda1", "1.0"},
+                           {"seed", "7"},
+                           {"threads", "0"},
+                           {"metrics-out", ""},
+                           {"trace-out", ""}});
+  ApplyThreadsFlag(flags);
+  ApplyObsFlags(flags);
+  data::SyntheticLogGenerator generator(data::ProfileByName(flags.Get("profile")));
+
+  std::unique_ptr<serve::FrozenModel> frozen;
+  if (!flags.Get("ckpt").empty()) {
+    frozen = serve::FrozenModel::Load(flags.Get("model"), generator.Schema(),
+                                      ModelConfigFromFlags(flags),
+                                      flags.Get("ckpt"));
+    if (frozen == nullptr) {
+      std::fprintf(stderr,
+                   "serve-bench: checkpoint %s does not match model '%s'\n",
+                   flags.Get("ckpt").c_str(), flags.Get("model").c_str());
+      return 1;
+    }
+  } else {
+    frozen = std::make_unique<serve::FrozenModel>(
+        core::CreateModel(flags.Get("model"), generator.Schema(),
+                          ModelConfigFromFlags(flags)),
+        generator.Schema());
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = flags.GetInt("max-batch");
+  engine_config.max_wait_micros = flags.GetInt("max-wait-us");
+  engine_config.queue_capacity = flags.GetInt("queue-capacity");
+  serve::Engine engine(frozen.get(), engine_config);
+
+  const int total = flags.GetInt("requests");
+  const int window = std::max(1, flags.GetInt("window"));
+  const auto& profile = generator.profile();
+  Rng traffic(static_cast<std::uint64_t>(flags.GetInt("seed")) ^
+              0x5e7fe11aULL);
+  const std::int64_t t0 = obs::NowNanos();
+  double checksum = 0.0;
+  int sent = 0;
+  while (sent < total) {
+    const int count = std::min(window, total - sent);
+    std::vector<data::Example> rows;
+    rows.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const int user = static_cast<int>(traffic.NextBounded(profile.num_users));
+      const int item = static_cast<int>(traffic.NextBounded(profile.num_items));
+      rows.push_back(generator.MakeExample(user, item, /*position=*/0));
+    }
+    for (const serve::Score& score : engine.ScoreAll(rows)) {
+      checksum += score.pctcvr;
+    }
+    sent += count;
+  }
+  const double seconds = static_cast<double>(obs::NowNanos() - t0) * 1e-9;
+  engine.Shutdown();
+
+  const serve::EngineStats stats = engine.stats();
+  std::printf("serve-bench model=%s requests=%d threads=%d\n",
+              frozen->name().c_str(), total,
+              core::ThreadPool::Global().num_threads());
+  std::printf("  wall            %.3f s (%.0f req/s, %.1f us/req)\n", seconds,
+              static_cast<double>(total) / seconds,
+              seconds * 1e6 / static_cast<double>(total));
+  std::printf("  batches         %lld (mean size %.1f, max %lld)\n",
+              static_cast<long long>(stats.batches),
+              stats.batches > 0
+                  ? static_cast<double>(stats.scored) /
+                        static_cast<double>(stats.batches)
+                  : 0.0,
+              static_cast<long long>(stats.max_batch_scored));
+  std::printf("  flushes         full=%lld deadline=%lld drain=%lld\n",
+              static_cast<long long>(stats.flushed_full),
+              static_cast<long long>(stats.flushed_deadline),
+              static_cast<long long>(stats.flushed_drain));
+  std::printf("  max queue depth %lld\n",
+              static_cast<long long>(stats.max_queue_depth));
+  std::printf("  checksum        %.6f\n", checksum);
+  return WriteObsOutputs(flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -338,6 +448,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "check-graph") == 0 ||
       std::strcmp(cmd, "--check-graph") == 0) {
     return CheckGraphCmd(argc - 1, argv + 1);
+  }
+  if (std::strcmp(cmd, "serve-bench") == 0) {
+    return ServeBenchCmd(argc - 1, argv + 1);
   }
   return Usage();
 }

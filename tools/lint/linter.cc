@@ -285,18 +285,24 @@ class Linter {
     return i + 1 < scan_.tokens.size() ? &scan_.tokens[i + 1] : nullptr;
   }
 
+  // src/core/ owns the thread-pool runtime; src/serve/ owns the serving
+  // engine's request queue + dispatcher. Everything else goes through them.
+  bool InConcurrencySite() const {
+    return StartsWith(path_, "src/core/") || StartsWith(path_, "src/serve/");
+  }
+
   void CheckIncludes() {
-    const bool in_core = StartsWith(path_, "src/core/");
+    const bool sanctioned = InConcurrencySite();
     static const std::set<std::string> kConcurrencyHeaders = {
         "<thread>", "<mutex>", "<atomic>", "<condition_variable>",
         "<shared_mutex>", "<future>"};
     std::map<std::string, int> first_seen;
     for (const auto& [line, header] : scan_.includes) {
-      if (!in_core && kConcurrencyHeaders.count(header) > 0) {
+      if (!sanctioned && kConcurrencyHeaders.count(header) > 0) {
         Report("concurrency", line,
                "include of " + header +
-                   " outside src/core/ — use core::ThreadPool, the "
-                   "sanctioned concurrency runtime");
+                   " outside src/core/ or src/serve/ — use core::ThreadPool "
+                   "or serve::Engine, the sanctioned concurrency sites");
       }
       auto [it, inserted] = first_seen.emplace(header, line);
       if (!inserted) {
@@ -319,7 +325,8 @@ class Linter {
   }
 
   void CheckTokens() {
-    const bool in_core = StartsWith(path_, "src/core/");
+    const bool sanctioned = InConcurrencySite();
+    const bool in_serve = StartsWith(path_, "src/serve/");
     const bool in_random = StartsWith(path_, "src/tensor/random.");
     static const std::set<std::string> kConcurrencyIdents = {
         "thread",      "mutex",          "atomic",      "condition_variable",
@@ -332,11 +339,16 @@ class Linter {
                                                        "mt19937",
                                                        "mt19937_64",
                                                        "default_random_engine"};
+    // Tape mutation entry points: serving must stay value-only, so none of
+    // these may appear under src/serve/ (the parity proof depends on it).
+    static const std::set<std::string> kTapeMutators = {
+        "Backward", "SetBackwardFn", "backward_fn", "EnsureGrad", "ZeroGrad",
+        "AccumulateGrad"};
     const std::vector<Token>& toks = scan_.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
       const Token& t = toks[i];
-      // std::<concurrency-primitive> outside src/core/.
-      if (!in_core && t.text == "std") {
+      // std::<concurrency-primitive> outside the sanctioned sites.
+      if (!sanctioned && t.text == "std") {
         const Token* colons = Next(i);
         const Token* name =
             i + 2 < toks.size() ? &toks[i + 2] : nullptr;
@@ -344,9 +356,16 @@ class Linter {
             kConcurrencyIdents.count(name->text) > 0) {
           Report("concurrency", t.line,
                  "std::" + name->text +
-                     " outside src/core/ — use core::ThreadPool, the "
-                     "sanctioned concurrency runtime");
+                     " outside src/core/ or src/serve/ — use core::ThreadPool "
+                     "or serve::Engine, the sanctioned concurrency sites");
         }
+      }
+      // Backward-pass / tape mutation inside the serving subsystem.
+      if (in_serve && kTapeMutators.count(t.text) > 0) {
+        Report("serve-no-backward", t.line,
+               "'" + t.text +
+                   "' under src/serve/ — the serving path is value-only; "
+                   "autograd belongs to the training stack");
       }
       // Raw new / delete.
       if (t.text == "new") {

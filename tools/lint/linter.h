@@ -10,8 +10,14 @@
 // Rules (ids are stable; waivers reference them):
 //   concurrency       std::thread / std::mutex / std::atomic /
 //                     std::condition_variable (and their headers) outside
-//                     src/core/ — core::ThreadPool is the only sanctioned
-//                     concurrency runtime (DESIGN.md §9).
+//                     src/core/ and src/serve/ — core::ThreadPool is the
+//                     sanctioned concurrency runtime (DESIGN.md §9) and
+//                     serve::Engine the sanctioned serving-side user of raw
+//                     primitives (DESIGN.md §13).
+//   serve-no-backward Backward / SetBackwardFn / ZeroGrad / EnsureGrad /
+//                     AccumulateGrad under src/serve/ — serving is value-only
+//                     by construction; its bit-exactness proof assumes no
+//                     tape is ever built or mutated there (DESIGN.md §13).
 //   raw-new-delete    naked `new` / `delete` expressions; ownership lives in
 //                     containers, smart pointers, or a type that pairs the
 //                     two inside its own constructor/destructor (waive at

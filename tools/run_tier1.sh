@@ -52,6 +52,35 @@ if [[ "${DCMT_SKIP_TSAN:-0}" != "1" ]]; then
     -R 'TsanStress|ThreadPool|ParallelKernels|ParallelTraining|ParallelExperiment|Obs'
 fi
 
+# Serving parity + engine stage (DESIGN.md §13): the train/serve bit-exact
+# proof and the micro-batcher's queue protocol are exactly the kind of code
+# that behaves until instrumented, so the serve suites run under BOTH
+# sanitizer trees (heap discipline of the inference arena under ASan/UBSan,
+# dispatcher/submitter edges under TSan). Skippable with DCMT_SKIP_SERVE=1;
+# the suites also run uninstrumented in the plain ctest pass above.
+if [[ "${DCMT_SKIP_SERVE:-0}" != "1" ]]; then
+  if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
+    SAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$SAN_DIR" -S . \
+      -DDCMT_SANITIZE=address,undefined \
+      -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+    cmake --build "$SAN_DIR" -j "$JOBS" --target serve_test
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Serve|InferenceGuard'
+  fi
+  if [[ "${DCMT_SKIP_TSAN:-0}" != "1" ]]; then
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    cmake -B "$TSAN_DIR" -S . \
+      -DDCMT_SANITIZE=thread \
+      -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target serve_test
+    TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+      ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Serve|InferenceGuard'
+  fi
+  echo "serve stage OK"
+fi
+
 # Observability determinism (DESIGN.md §12): train the same tiny run twice
 # with --metrics-out/--trace-out and assert the exports are content-identical
 # once timing-derived values are projected out — metrics via the
@@ -90,7 +119,17 @@ fi
 "$BUILD_DIR"/bench/bench_obs_overhead \
   --benchmark_out="$BUILD_DIR"/bench_obs_raw.json \
   --benchmark_out_format=json
+# Interleaved repetitions: the taped-vs-frozen comparison is a few percent
+# at full batch, so ordering/thermal drift within one process can flip it;
+# random interleaving + mean-over-repetitions (bench_to_json averages
+# duplicate rows) keeps the comparison fair.
+"$BUILD_DIR"/bench/bench_serve \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_repetitions=3 \
+  --benchmark_out="$BUILD_DIR"/bench_serve_raw.json \
+  --benchmark_out_format=json
 "$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json \
-  "$BUILD_DIR"/bench_obs_raw.json BENCH_engine.json
+  "$BUILD_DIR"/bench_obs_raw.json "$BUILD_DIR"/bench_serve_raw.json \
+  BENCH_engine.json
 
 echo "tier-1 OK; perf trajectory written to BENCH_engine.json"
