@@ -1,0 +1,208 @@
+// Per-kernel microbenchmarks of the SIMD tensor layer (DESIGN.md §14):
+// the GEMM at the exact shapes the default towers run (ModelConfig
+// hidden_dims {64, 32} on the AE-ES schema at batch 1024), the vectorized
+// elementwise family, and each fused op next to the unfused composite it
+// replaces — so BENCH_engine.json reports the fusion win per kernel.
+//
+// tools/run_tier1.sh folds this binary's JSON output into BENCH_engine.json
+// via tools/bench_to_json alongside the scaling/obs/serve benches.
+
+#include <benchmark/benchmark.h>
+
+#include "data/profiles.h"
+#include "data/schema.h"
+#include "models/multi_task_model.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace dcmt;
+
+constexpr int kBatch = 1024;
+
+/// Deep-tower input width on the default AE-ES schema: #deep fields times
+/// the default embedding dim.
+int TowerInputWidth() {
+  static const int width = [] {
+    const data::FeatureSchema schema =
+        data::SyntheticLogGenerator(data::AeEsProfile()).GenerateTrain().schema();
+    return static_cast<int>(schema.deep_fields.size()) *
+           models::ModelConfig().embedding_dim;
+  }();
+  return width;
+}
+
+// --- GEMM at the actual tower shapes -----------------------------------------
+
+void TowerMatMul(benchmark::State& state, int m, int k, int n) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn(m, k, 1.0f, &rng);
+  Tensor b = Tensor::Randn(k, n, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = ops::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m) *
+                          k * n);
+}
+
+void BM_MatMulTowerLayer1(benchmark::State& state) {
+  TowerMatMul(state, kBatch, TowerInputWidth(), 64);
+}
+BENCHMARK(BM_MatMulTowerLayer1);
+
+void BM_MatMulTowerLayer2(benchmark::State& state) {
+  TowerMatMul(state, kBatch, 64, 32);
+}
+BENCHMARK(BM_MatMulTowerLayer2);
+
+void BM_MatMulTowerHead(benchmark::State& state) {
+  TowerMatMul(state, kBatch, 32, 1);
+}
+BENCHMARK(BM_MatMulTowerHead);
+
+// --- Vectorized elementwise family -------------------------------------------
+
+void Elementwise(benchmark::State& state, Tensor (*op)(const Tensor&)) {
+  Rng rng(2);
+  Tensor x = Tensor::Uniform(512, 128, -4.0f, 4.0f, &rng);
+  for (auto _ : state) {
+    Tensor y = op(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+
+void BM_Sigmoid(benchmark::State& state) { Elementwise(state, ops::Sigmoid); }
+BENCHMARK(BM_Sigmoid);
+void BM_Tanh(benchmark::State& state) { Elementwise(state, ops::Tanh); }
+BENCHMARK(BM_Tanh);
+void BM_Exp(benchmark::State& state) { Elementwise(state, ops::Exp); }
+BENCHMARK(BM_Exp);
+void BM_Softplus(benchmark::State& state) { Elementwise(state, ops::Softplus); }
+BENCHMARK(BM_Softplus);
+void BM_Relu(benchmark::State& state) { Elementwise(state, ops::Relu); }
+BENCHMARK(BM_Relu);
+
+// --- Fused vs unfused pairs --------------------------------------------------
+// Each pair runs the identical computation; the *_Unfused variant builds the
+// intermediate tensors the fused kernel eliminates.
+
+void BM_SigmoidBceFused(benchmark::State& state) {
+  Rng rng(3);
+  Tensor z = Tensor::Uniform(kBatch, 1, -4.0f, 4.0f, &rng);
+  Tensor y = Tensor::Uniform(kBatch, 1, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor loss = ops::SigmoidBce(z, y);
+    benchmark::DoNotOptimize(loss.data());
+  }
+}
+BENCHMARK(BM_SigmoidBceFused);
+
+void BM_SigmoidBceUnfused(benchmark::State& state) {
+  Rng rng(3);
+  Tensor z = Tensor::Uniform(kBatch, 1, -4.0f, 4.0f, &rng);
+  Tensor y = Tensor::Uniform(kBatch, 1, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor loss = ops::BceLoss(ops::Sigmoid(z), y);
+    benchmark::DoNotOptimize(loss.data());
+  }
+}
+BENCHMARK(BM_SigmoidBceUnfused);
+
+/// AE-ES-like embedding workload: 8 fields, dim-16 tables, batch 1024.
+struct EmbedFixture {
+  std::vector<Tensor> tables;
+  std::vector<std::vector<int>> ids;
+  EmbedFixture() {
+    Rng rng(4);
+    const int fields = 8, vocab = 2000, dim = 16;
+    for (int f = 0; f < fields; ++f) {
+      tables.push_back(Tensor::Randn(vocab, dim, 0.1f, &rng));
+      std::vector<int> field;
+      for (int i = 0; i < kBatch; ++i) {
+        field.push_back((i * 37 + f * 13) % vocab);
+      }
+      ids.push_back(std::move(field));
+    }
+  }
+};
+
+void BM_EmbeddingConcatFused(benchmark::State& state) {
+  EmbedFixture fx;
+  for (auto _ : state) {
+    Tensor out = ops::EmbeddingConcat(fx.tables, fx.ids);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * 8 * 16);
+}
+BENCHMARK(BM_EmbeddingConcatFused);
+
+void BM_EmbeddingConcatUnfused(benchmark::State& state) {
+  EmbedFixture fx;
+  for (auto _ : state) {
+    Tensor out = ops::reference::EmbeddingConcat(fx.tables, fx.ids);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * 8 * 16);
+}
+BENCHMARK(BM_EmbeddingConcatUnfused);
+
+void ReductionPair(benchmark::State& state, bool fused,
+                   Tensor (*f)(const Tensor&), Tensor (*ref)(const Tensor&)) {
+  Rng rng(5);
+  Tensor a = Tensor::Uniform(512, 128, -1.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor out = fused ? f(a) : ref(a);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+
+void BM_MeanFused(benchmark::State& state) {
+  ReductionPair(state, true, ops::Mean, ops::reference::Mean);
+}
+BENCHMARK(BM_MeanFused);
+void BM_MeanUnfused(benchmark::State& state) {
+  ReductionPair(state, false, ops::Mean, ops::reference::Mean);
+}
+BENCHMARK(BM_MeanUnfused);
+
+void BM_SquaredNormFused(benchmark::State& state) {
+  ReductionPair(state, true, ops::SquaredNorm, ops::reference::SquaredNorm);
+}
+BENCHMARK(BM_SquaredNormFused);
+void BM_SquaredNormUnfused(benchmark::State& state) {
+  ReductionPair(state, false, ops::SquaredNorm, ops::reference::SquaredNorm);
+}
+BENCHMARK(BM_SquaredNormUnfused);
+
+void BM_WeightedSumFused(benchmark::State& state) {
+  Rng rng(6);
+  Tensor a = Tensor::Uniform(512, 128, -1.0f, 1.0f, &rng);
+  Tensor w = Tensor::Uniform(512, 128, -1.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor out = ops::WeightedSum(a, w);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_WeightedSumFused);
+
+void BM_WeightedSumUnfused(benchmark::State& state) {
+  Rng rng(6);
+  Tensor a = Tensor::Uniform(512, 128, -1.0f, 1.0f, &rng);
+  Tensor w = Tensor::Uniform(512, 128, -1.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor out = ops::reference::WeightedSum(a, w);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_WeightedSumUnfused);
+
+}  // namespace
+
+BENCHMARK_MAIN();

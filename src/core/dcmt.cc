@@ -54,11 +54,14 @@ models::Predictions Dcmt::Forward(const data::Batch& batch) {
   models::Predictions preds;
   Tensor ctr_logit = ctr_tower_->ForwardLogit(deep);
   if (ctr_wide_) ctr_logit = ops::Add(ctr_logit, ctr_wide_->Forward(wide));
+  preds.ctr_logit = ctr_logit;
   preds.ctr = ops::Sigmoid(ctr_logit);
 
-  auto [factual, counterfactual] = twin_tower_->Forward(deep, wide);
-  preds.cvr = factual;
-  preds.cvr_counterfactual = counterfactual;
+  const TwinTowerOut twin = twin_tower_->Forward(deep, wide);
+  preds.cvr = twin.factual;
+  preds.cvr_logit = twin.factual_logit;
+  preds.cvr_counterfactual = twin.counterfactual;
+  preds.cvr_cf_logit = twin.counter_logit;  // undefined under hard constraint
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
@@ -143,8 +146,9 @@ Tensor Dcmt::CvrTaskLoss(const data::Batch& batch,
   }
 
   // Factual loss in O: e(r, r̂) — conversion labels are valid only in O and
-  // the factual weights are zero elsewhere.
-  const Tensor e_factual = ops::BceLoss(preds.cvr, batch.conversion);
+  // the factual weights are zero elsewhere. Built from the fused
+  // sigmoid+BCE on the head logit when the model recorded one.
+  const Tensor e_factual = models::CvrExampleLoss(preds, batch);
   // Counterfactual loss in N*: labels r* = 1 − r against the counterfactual
   // head (in N the observed r is 0, so r* = 1: the mirrored positives).
   // Optional label smoothing ε maps {0,1} -> {ε, 1−ε} to soften the fake
@@ -155,8 +159,12 @@ Tensor Dcmt::CvrTaskLoss(const data::Batch& batch,
     counter_labels =
         ops::AddScalar(ops::Scale(counter_labels, 1.0f - 2.0f * eps), eps);
   }
+  // Under the hard constraint r̂* has no logit (it is 1 − σ(z)), so the
+  // probability-space BCE is the only correct form there.
   const Tensor e_counter =
-      ops::BceLoss(preds.cvr_counterfactual, counter_labels);
+      preds.cvr_cf_logit.defined()
+          ? ops::SigmoidBce(preds.cvr_cf_logit, counter_labels)
+          : ops::BceLoss(preds.cvr_counterfactual, counter_labels);
 
   Tensor loss = Tensor::Scalar(0.0f);
   if (n_clicked > 0) {
@@ -182,7 +190,7 @@ Tensor Dcmt::CvrTaskLoss(const data::Batch& batch,
 }
 
 Tensor Dcmt::Loss(const data::Batch& batch, const models::Predictions& preds) {
-  const Tensor ctr_loss = models::CtrLoss(preds.ctr, batch);
+  const Tensor ctr_loss = models::CtrLoss(preds, batch);
   const Tensor cvr_loss = CvrTaskLoss(batch, preds);
   const Tensor ctcvr_loss = models::CtcvrLoss(preds.ctcvr, batch);
   Tensor loss = ops::Add(ctr_loss, ops::Scale(ctcvr_loss, config_.w_ctcvr));

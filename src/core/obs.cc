@@ -388,16 +388,16 @@ std::string Registry::RenderPrometheus() {
               return a.name < b.name;
             });
 
-  // Fan the per-metric rendering out over the pool; blocks are joined in
-  // name order afterwards, so the export is identical at any thread count.
+  // Render serially, on purpose: the thread pool records its own dispatch
+  // counters into this registry, so routing the export through ParallelFor
+  // would mutate (and lazily register) the very metrics being exported —
+  // the render itself becomes an observer effect that makes back-to-back
+  // exports of identical workloads differ. A few dozen small strings are
+  // far below any dispatch grain anyway.
   std::vector<std::string> blocks(entries.size());
-  core::ParallelFor(0, static_cast<std::int64_t>(entries.size()), 1,
-                    [&](std::int64_t lo, std::int64_t hi) {
-                      for (std::int64_t i = lo; i < hi; ++i) {
-                        blocks[static_cast<std::size_t>(i)] =
-                            RenderEntry(entries[static_cast<std::size_t>(i)]);
-                      }
-                    });
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    blocks[i] = RenderEntry(entries[i]);
+  }
 
   std::string out;
   std::string last_base;

@@ -39,31 +39,34 @@ TwinTower::TwinTower(std::string name, int deep_features, int wide_features,
   }
 }
 
-std::pair<Tensor, Tensor> TwinTower::Forward(const Tensor& deep,
-                                             const Tensor& wide) const {
+TwinTowerOut TwinTower::Forward(const Tensor& deep, const Tensor& wide) const {
   if ((wide_features_ > 0) != wide.defined()) {
     std::fprintf(stderr, "TwinTower: wide input presence mismatch\n");
     std::abort();
   }
   const Tensor h = shared_trunk_->Forward(deep);
 
-  Tensor factual_logit = factual_head_->Forward(h);
+  TwinTowerOut out;
+  out.factual_logit = factual_head_->Forward(h);
   if (factual_wide_) {
-    factual_logit = ops::Add(factual_logit, factual_wide_->Forward(wide));
+    out.factual_logit = ops::Add(out.factual_logit, factual_wide_->Forward(wide));
   }
-  const Tensor factual = ops::Sigmoid(factual_logit);
+  out.factual = ops::Sigmoid(out.factual_logit);
 
   if (hard_constraint_) {
     // r̂* forced to 1 − r̂: the counterfactual prior as an identity, not a
-    // soft regularizer. Kept for the Fig. 8(c)/(d) ablation.
-    return {factual, ops::OneMinus(factual)};
+    // soft regularizer. Kept for the Fig. 8(c)/(d) ablation. No counter
+    // logit exists in this mode (see TwinTowerOut).
+    out.counterfactual = ops::OneMinus(out.factual);
+    return out;
   }
 
-  Tensor counter_logit = counter_head_->Forward(h);
+  out.counter_logit = counter_head_->Forward(h);
   if (counter_wide_) {
-    counter_logit = ops::Add(counter_logit, counter_wide_->Forward(wide));
+    out.counter_logit = ops::Add(out.counter_logit, counter_wide_->Forward(wide));
   }
-  return {factual, ops::Sigmoid(counter_logit)};
+  out.counterfactual = ops::Sigmoid(out.counter_logit);
+  return out;
 }
 
 }  // namespace core

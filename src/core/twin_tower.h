@@ -3,7 +3,6 @@
 
 #include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "nn/linear.h"
@@ -29,6 +28,18 @@ namespace core {
 ///
 /// With `hard_constraint` the counterfactual head is bypassed and r̂* = 1 − r̂
 /// exactly (the ablation of Fig. 8(c)/(d)).
+/// TwinTower::Forward output. The logits feed the fused SigmoidBce losses;
+/// `counter_logit` is undefined under the hard constraint, where r̂* = 1 − r̂
+/// is derived from the factual probability and has no logit of its own
+/// (1 − σ(z) = σ(−z) only mathematically, not bitwise — deriving a logit
+/// would change the loss numerics the ablation is defined against).
+struct TwinTowerOut {
+  Tensor factual;             // r̂
+  Tensor counterfactual;      // r̂*
+  Tensor factual_logit;       // pre-sigmoid z with σ(z) = r̂
+  Tensor counter_logit;       // pre-sigmoid z* (undefined if hard constraint)
+};
+
 class TwinTower : public nn::Module {
  public:
   /// `wide_features == 0` degenerates to a pure deep twin tower.
@@ -36,8 +47,9 @@ class TwinTower : public nn::Module {
             const std::vector<int>& hidden_dims, Rng* rng,
             bool hard_constraint = false);
 
-  /// Returns {r̂, r̂*}. `wide` must be defined iff wide_features > 0.
-  std::pair<Tensor, Tensor> Forward(const Tensor& deep, const Tensor& wide) const;
+  /// Returns r̂, r̂* and their logits. `wide` must be defined iff
+  /// wide_features > 0.
+  TwinTowerOut Forward(const Tensor& deep, const Tensor& wide) const;
 
   bool hard_constraint() const { return hard_constraint_; }
 

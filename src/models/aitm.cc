@@ -61,15 +61,17 @@ Predictions Aitm::Forward(const data::Batch& batch) {
                                 ops::Mul(v2, ops::SliceCols(weights, 1, 1)));
 
   Predictions preds;
-  preds.ctr = ops::Sigmoid(ctr_head_->Forward(h_ctr));
-  preds.cvr = ops::Sigmoid(cvr_head_->Forward(fused));
+  preds.ctr_logit = ctr_head_->Forward(h_ctr);
+  preds.ctr = ops::Sigmoid(preds.ctr_logit);
+  preds.cvr_logit = cvr_head_->Forward(fused);
+  preds.cvr = ops::Sigmoid(preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
 
 Tensor Aitm::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr = CtrLoss(preds.ctr, batch);
-  const Tensor cvr = CvrLossClickedOnly(preds.cvr, batch);
+  const Tensor ctr = CtrLoss(preds, batch);
+  const Tensor cvr = CvrLossClickedOnly(preds, batch);
   const Tensor ctcvr = CtcvrLoss(preds.ctcvr, batch);
   // Behavioral expectation calibrator: conversions cannot outnumber clicks,
   // so penalize pCTCVR > pCTR.

@@ -48,30 +48,31 @@ Tensor Tower::ForwardProb(const Tensor& x) const {
   return ops::Sigmoid(ForwardLogit(x));
 }
 
-Tensor CtrLoss(const Tensor& pctr, const data::Batch& batch) {
-  return ops::Mean(ops::BceLoss(pctr, batch.click));
+Tensor Tower::ForwardProb(const Tensor& x, Tensor* logit) const {
+  *logit = ForwardLogit(x);
+  return ops::Sigmoid(*logit);
 }
 
-Tensor CtcvrLoss(const Tensor& pctcvr, const data::Batch& batch) {
-  return ops::Mean(ops::BceLoss(pctcvr, batch.ctcvr));
-}
+namespace {
 
-Tensor CvrLossClickedOnly(const Tensor& pcvr, const data::Batch& batch) {
+// Normalized clicked-only mask 1{o_i}/|O|, or an undefined Tensor when the
+// batch has no clicks.
+Tensor ClickedOnlyWeights(const data::Batch& batch) {
   std::int64_t clicked = 0;
   for (std::uint8_t o : batch.click_raw) clicked += o;
-  if (clicked == 0) return Tensor::Scalar(0.0f, /*requires_grad=*/false);
+  if (clicked == 0) return Tensor();
   std::vector<float> mask(static_cast<std::size_t>(batch.size));
   const float inv = 1.0f / static_cast<float>(clicked);
   for (int i = 0; i < batch.size; ++i) {
     mask[static_cast<std::size_t>(i)] =
         batch.click_raw[static_cast<std::size_t>(i)] ? inv : 0.0f;
   }
-  const Tensor weights = Tensor::ColumnVector(mask);
-  return ops::WeightedSum(ops::BceLoss(pcvr, batch.conversion), weights);
+  return Tensor::ColumnVector(mask);
 }
 
-Tensor IpwCvrLoss(const Tensor& pcvr, const Tensor& pctr_detached,
-                  const data::Batch& batch, float clip) {
+// Clicked-only inverse-propensity weights 1{o_i}/(B·clip(p̂_i)).
+Tensor IpwWeights(const Tensor& pctr_detached, const data::Batch& batch,
+                  float clip) {
   if (pctr_detached.requires_grad()) {
     std::fprintf(stderr, "IpwCvrLoss: propensities must be detached\n");
     std::abort();
@@ -85,8 +86,57 @@ Tensor IpwCvrLoss(const Tensor& pcvr, const Tensor& pctr_detached,
       weights[static_cast<std::size_t>(i)] = inv_b / prop;
     }
   }
-  const Tensor w = Tensor::ColumnVector(weights);
+  return Tensor::ColumnVector(weights);
+}
+
+}  // namespace
+
+Tensor CtrLoss(const Tensor& pctr, const data::Batch& batch) {
+  return ops::Mean(ops::BceLoss(pctr, batch.click));
+}
+
+Tensor CtcvrLoss(const Tensor& pctcvr, const data::Batch& batch) {
+  return ops::Mean(ops::BceLoss(pctcvr, batch.ctcvr));
+}
+
+Tensor CvrLossClickedOnly(const Tensor& pcvr, const data::Batch& batch) {
+  const Tensor weights = ClickedOnlyWeights(batch);
+  if (!weights.defined()) return Tensor::Scalar(0.0f, /*requires_grad=*/false);
+  return ops::WeightedSum(ops::BceLoss(pcvr, batch.conversion), weights);
+}
+
+Tensor IpwCvrLoss(const Tensor& pcvr, const Tensor& pctr_detached,
+                  const data::Batch& batch, float clip) {
+  const Tensor w = IpwWeights(pctr_detached, batch, clip);
   return ops::WeightedSum(ops::BceLoss(pcvr, batch.conversion), w);
+}
+
+Tensor CtrExampleLoss(const Predictions& preds, const data::Batch& batch) {
+  return preds.ctr_logit.defined()
+             ? ops::SigmoidBce(preds.ctr_logit, batch.click)
+             : ops::BceLoss(preds.ctr, batch.click);
+}
+
+Tensor CvrExampleLoss(const Predictions& preds, const data::Batch& batch) {
+  return preds.cvr_logit.defined()
+             ? ops::SigmoidBce(preds.cvr_logit, batch.conversion)
+             : ops::BceLoss(preds.cvr, batch.conversion);
+}
+
+Tensor CtrLoss(const Predictions& preds, const data::Batch& batch) {
+  return ops::Mean(CtrExampleLoss(preds, batch));
+}
+
+Tensor CvrLossClickedOnly(const Predictions& preds, const data::Batch& batch) {
+  const Tensor weights = ClickedOnlyWeights(batch);
+  if (!weights.defined()) return Tensor::Scalar(0.0f, /*requires_grad=*/false);
+  return ops::WeightedSum(CvrExampleLoss(preds, batch), weights);
+}
+
+Tensor IpwCvrLoss(const Predictions& preds, const Tensor& pctr_detached,
+                  const data::Batch& batch, float clip) {
+  const Tensor w = IpwWeights(pctr_detached, batch, clip);
+  return ops::WeightedSum(CvrExampleLoss(preds, batch), w);
 }
 
 std::vector<float> ColumnToVector(const Tensor& t) {

@@ -7,6 +7,7 @@
 
 #include "data/batcher.h"
 #include "data/schema.h"
+#include "models/multi_task_model.h"
 #include "nn/embedding.h"
 #include "nn/linear.h"
 #include "nn/mlp.h"
@@ -51,6 +52,10 @@ class Tower : public nn::Module {
   /// Returns sigmoid(logit).
   Tensor ForwardProb(const Tensor& x) const;
 
+  /// Returns sigmoid(logit) and stores the logit in `*logit` so callers can
+  /// hand it to the fused SigmoidBce losses (Predictions::*_logit fields).
+  Tensor ForwardProb(const Tensor& x, Tensor* logit) const;
+
  private:
   std::unique_ptr<nn::Mlp> trunk_;
   std::unique_ptr<nn::Linear> head_;
@@ -73,6 +78,29 @@ Tensor CvrLossClickedOnly(const Tensor& pcvr, const data::Batch& batch);
 /// detached (gradients do not flow into the CTR tower through the weights)
 /// and clamped to [clip, 1-clip].
 Tensor IpwCvrLoss(const Tensor& pcvr, const Tensor& pctr_detached,
+                  const data::Batch& batch, float clip);
+
+// Predictions-aware overloads: identical semantics, but when the matching
+// logit field is defined the per-example BCE is built with the fused
+// ops::SigmoidBce(logit, label) — one node, clamp-free — instead of
+// ops::BceLoss(prob, label). With undefined logits they are exact synonyms
+// of the probability-space versions above.
+
+/// Per-example CTR BCE [B x 1] (logit-fused when preds.ctr_logit is set).
+Tensor CtrExampleLoss(const Predictions& preds, const data::Batch& batch);
+
+/// Per-example CVR BCE [B x 1] against conversion labels (logit-fused when
+/// preds.cvr_logit is set). The building block of every CVR-space loss.
+Tensor CvrExampleLoss(const Predictions& preds, const data::Batch& batch);
+
+/// CtrLoss via preds.ctr_logit / preds.ctr.
+Tensor CtrLoss(const Predictions& preds, const data::Batch& batch);
+
+/// CvrLossClickedOnly via preds.cvr_logit / preds.cvr.
+Tensor CvrLossClickedOnly(const Predictions& preds, const data::Batch& batch);
+
+/// IpwCvrLoss via preds.cvr_logit / preds.cvr.
+Tensor IpwCvrLoss(const Predictions& preds, const Tensor& pctr_detached,
                   const data::Batch& batch, float clip);
 
 /// Host-side helper: extracts column-0 floats of a [B x 1] tensor.

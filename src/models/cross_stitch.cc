@@ -54,15 +54,17 @@ Predictions CrossStitch::Forward(const data::Batch& batch) {
     hb = new_b;
   }
   Predictions preds;
-  preds.ctr = ops::Sigmoid(ctr_head_->Forward(ha));
-  preds.cvr = ops::Sigmoid(cvr_head_->Forward(hb));
+  preds.ctr_logit = ctr_head_->Forward(ha);
+  preds.ctr = ops::Sigmoid(preds.ctr_logit);
+  preds.cvr_logit = cvr_head_->Forward(hb);
+  preds.cvr = ops::Sigmoid(preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
 
 Tensor CrossStitch::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr = CtrLoss(preds.ctr, batch);
-  const Tensor cvr = CvrLossClickedOnly(preds.cvr, batch);
+  const Tensor ctr = CtrLoss(preds, batch);
+  const Tensor cvr = CvrLossClickedOnly(preds, batch);
   const Tensor ctcvr = CtcvrLoss(preds.ctcvr, batch);
   Tensor loss = ops::Add(ctr, ops::Scale(ctcvr, config_.w_ctcvr));
   if (cvr.requires_grad()) loss = ops::Add(loss, ops::Scale(cvr, config_.w_cvr));

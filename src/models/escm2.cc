@@ -31,8 +31,8 @@ Predictions Escm2::Forward(const data::Batch& batch) {
     x = ops::ConcatCols({x, embeddings_->WideInput(batch)});
   }
   Predictions preds;
-  preds.ctr = ctr_tower_->ForwardProb(x);
-  preds.cvr = cvr_tower_->ForwardProb(x);
+  preds.ctr = ctr_tower_->ForwardProb(x, &preds.ctr_logit);
+  preds.cvr = cvr_tower_->ForwardProb(x, &preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   if (variant_ == Variant::kDr) {
     // Non-negative error imputation ê = softplus(logit).
@@ -42,17 +42,17 @@ Predictions Escm2::Forward(const data::Batch& batch) {
 }
 
 Tensor Escm2::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr_loss = CtrLoss(preds.ctr, batch);
+  const Tensor ctr_loss = CtrLoss(preds, batch);
   const Tensor ctcvr_loss = CtcvrLoss(preds.ctcvr, batch);  // "global risk"
   const Tensor pctr_detached = preds.ctr.Detach();
 
   Tensor cvr_loss;
   if (variant_ == Variant::kIpw) {
-    cvr_loss = IpwCvrLoss(preds.cvr, pctr_detached, batch, config_.propensity_clip);
+    cvr_loss = IpwCvrLoss(preds, pctr_detached, batch, config_.propensity_clip);
   } else {
     // Doubly robust (Eq. 6): (1/B) Σ_D [ ê + o·(e − ê)/p̂ ],
     // plus the imputation task (1/B) Σ_O (e − ê)²/p̂.
-    const Tensor e = ops::BceLoss(preds.cvr, batch.conversion);  // [B x 1]
+    const Tensor e = CvrExampleLoss(preds, batch);  // [B x 1]
     const Tensor delta = ops::Sub(e, imputed_error_);
     const float* p = pctr_detached.data();
     std::vector<float> ipw(static_cast<std::size_t>(batch.size), 0.0f);

@@ -23,15 +23,15 @@ Predictions Esmm::Forward(const data::Batch& batch) {
     x = ops::ConcatCols({x, embeddings_->WideInput(batch)});
   }
   Predictions preds;
-  preds.ctr = ctr_tower_->ForwardProb(x);
-  preds.cvr = cvr_tower_->ForwardProb(x);
+  preds.ctr = ctr_tower_->ForwardProb(x, &preds.ctr_logit);
+  preds.cvr = cvr_tower_->ForwardProb(x, &preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
 
 Tensor Esmm::Loss(const data::Batch& batch, const Predictions& preds) {
   // ESMM supervises only the two entire-space tasks; pCVR is implicit.
-  const Tensor ctr = CtrLoss(preds.ctr, batch);
+  const Tensor ctr = CtrLoss(preds, batch);
   const Tensor ctcvr = CtcvrLoss(preds.ctcvr, batch);
   return ops::Add(ctr, ops::Scale(ctcvr, config_.w_ctcvr));
 }

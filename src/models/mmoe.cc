@@ -60,15 +60,17 @@ Predictions Mmoe::Forward(const data::Batch& batch) {
   for (const auto& expert : experts_) expert_outputs.push_back(expert->Forward(x));
 
   Predictions preds;
-  preds.ctr = ctr_tower_->ForwardProb(MixExperts(expert_outputs, x, *ctr_gate_));
-  preds.cvr = cvr_tower_->ForwardProb(MixExperts(expert_outputs, x, *cvr_gate_));
+  preds.ctr = ctr_tower_->ForwardProb(MixExperts(expert_outputs, x, *ctr_gate_),
+                                      &preds.ctr_logit);
+  preds.cvr = cvr_tower_->ForwardProb(MixExperts(expert_outputs, x, *cvr_gate_),
+                                      &preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
 
 Tensor Mmoe::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr = CtrLoss(preds.ctr, batch);
-  const Tensor cvr = CvrLossClickedOnly(preds.cvr, batch);
+  const Tensor ctr = CtrLoss(preds, batch);
+  const Tensor cvr = CvrLossClickedOnly(preds, batch);
   const Tensor ctcvr = CtcvrLoss(preds.ctcvr, batch);
   Tensor loss = ops::Add(ctr, ops::Scale(ctcvr, config_.w_ctcvr));
   if (cvr.requires_grad()) loss = ops::Add(loss, ops::Scale(cvr, config_.w_cvr));

@@ -31,8 +31,8 @@ Predictions MultiIpwDr::Forward(const data::Batch& batch) {
     x = ops::ConcatCols({x, embeddings_->WideInput(batch)});
   }
   Predictions preds;
-  preds.ctr = ctr_tower_->ForwardProb(x);
-  preds.cvr = cvr_tower_->ForwardProb(x);
+  preds.ctr = ctr_tower_->ForwardProb(x, &preds.ctr_logit);
+  preds.cvr = cvr_tower_->ForwardProb(x, &preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   if (variant_ == Variant::kDr) {
     imputed_error_ = ops::Softplus(imputation_tower_->ForwardLogit(x));
@@ -41,14 +41,14 @@ Predictions MultiIpwDr::Forward(const data::Batch& batch) {
 }
 
 Tensor MultiIpwDr::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr_loss = CtrLoss(preds.ctr, batch);
+  const Tensor ctr_loss = CtrLoss(preds, batch);
   const Tensor pctr_detached = preds.ctr.Detach();
 
   Tensor cvr_loss;
   if (variant_ == Variant::kIpw) {
-    cvr_loss = IpwCvrLoss(preds.cvr, pctr_detached, batch, config_.propensity_clip);
+    cvr_loss = IpwCvrLoss(preds, pctr_detached, batch, config_.propensity_clip);
   } else {
-    const Tensor e = ops::BceLoss(preds.cvr, batch.conversion);
+    const Tensor e = CvrExampleLoss(preds, batch);
     const Tensor delta = ops::Sub(e, imputed_error_);
     const float* p = pctr_detached.data();
     std::vector<float> ipw(static_cast<std::size_t>(batch.size), 0.0f);

@@ -63,11 +63,22 @@ struct ModelConfig {
 
 /// Multi-task predictions on one batch. `cvr_counterfactual` is only defined
 /// for the DCMT family (the twin tower's second head).
+///
+/// The `*_logit` fields are optional pre-sigmoid logits recorded by models
+/// whose heads produce one. When defined, the shared loss helpers (and the
+/// DCMT loss) use the fused ops::SigmoidBce on the logit — one graph node,
+/// no probability clamp — instead of BceLoss(prob). When undefined (e.g.
+/// hand-built predictions in tests, or the hard-constraint counterfactual
+/// head r̂* = 1 − r̂ which has no logit of its own) the losses fall back to
+/// the probability-space BCE with numerics identical to before.
 struct Predictions {
   Tensor ctr;
   Tensor cvr;
   Tensor ctcvr;
   Tensor cvr_counterfactual;
+  Tensor ctr_logit;
+  Tensor cvr_logit;
+  Tensor cvr_cf_logit;
 };
 
 /// Interface every CTR/CVR/CTCVR multi-task model implements. A model owns

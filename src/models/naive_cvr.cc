@@ -22,15 +22,15 @@ Predictions NaiveCvr::Forward(const data::Batch& batch) {
     x = ops::ConcatCols({x, embeddings_->WideInput(batch)});
   }
   Predictions preds;
-  preds.ctr = ctr_tower_->ForwardProb(x);
-  preds.cvr = cvr_tower_->ForwardProb(x);
+  preds.ctr = ctr_tower_->ForwardProb(x, &preds.ctr_logit);
+  preds.cvr = cvr_tower_->ForwardProb(x, &preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
 
 Tensor NaiveCvr::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr = CtrLoss(preds.ctr, batch);
-  const Tensor cvr = CvrLossClickedOnly(preds.cvr, batch);
+  const Tensor ctr = CtrLoss(preds, batch);
+  const Tensor cvr = CvrLossClickedOnly(preds, batch);
   // Deliberately no CTCVR task: the naive estimator uses only O for CVR.
   return cvr.requires_grad() ? ops::Add(ctr, cvr) : ctr;
 }

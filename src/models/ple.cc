@@ -66,15 +66,17 @@ Predictions Ple::Forward(const data::Batch& batch) {
     x = ops::ConcatCols({x, embeddings_->WideInput(batch)});
   }
   Predictions preds;
-  preds.ctr = ctr_tower_->ForwardProb(TaskMixture(x, ctr_experts_, *ctr_gate_));
-  preds.cvr = cvr_tower_->ForwardProb(TaskMixture(x, cvr_experts_, *cvr_gate_));
+  preds.ctr = ctr_tower_->ForwardProb(TaskMixture(x, ctr_experts_, *ctr_gate_),
+                                      &preds.ctr_logit);
+  preds.cvr = cvr_tower_->ForwardProb(TaskMixture(x, cvr_experts_, *cvr_gate_),
+                                      &preds.cvr_logit);
   preds.ctcvr = ops::Mul(preds.ctr, preds.cvr);
   return preds;
 }
 
 Tensor Ple::Loss(const data::Batch& batch, const Predictions& preds) {
-  const Tensor ctr = CtrLoss(preds.ctr, batch);
-  const Tensor cvr = CvrLossClickedOnly(preds.cvr, batch);
+  const Tensor ctr = CtrLoss(preds, batch);
+  const Tensor cvr = CvrLossClickedOnly(preds, batch);
   const Tensor ctcvr = CtcvrLoss(preds.ctcvr, batch);
   Tensor loss = ops::Add(ctr, ops::Scale(ctcvr, config_.w_ctcvr));
   if (cvr.requires_grad()) loss = ops::Add(loss, ops::Scale(cvr, config_.w_cvr));

@@ -30,12 +30,10 @@ Tensor EmbeddingBag::Forward(
                  tables_.size(), field_ids.size());
     std::abort();
   }
-  std::vector<Tensor> parts;
-  parts.reserve(tables_.size());
-  for (std::size_t f = 0; f < tables_.size(); ++f) {
-    parts.push_back(ops::EmbeddingLookup(tables_[f], field_ids[f]));
-  }
-  return parts.size() == 1 ? parts[0] : ops::ConcatCols(parts);
+  // Fused gather + column concat: one node, no per-field intermediates
+  // (DESIGN.md §14). Values match the old EmbeddingLookup + ConcatCols
+  // composite exactly — both are pure copies.
+  return ops::EmbeddingConcat(tables_, field_ids);
 }
 
 }  // namespace nn

@@ -32,7 +32,18 @@ bool OpIs(const Impl* n, const char* tag) {
 }
 
 bool IsElementwiseBinary(const Impl* n) {
-  static const char* kTags[] = {"add", "sub", "mul", "div", "bce_loss"};
+  static const char* kTags[] = {"add", "sub", "mul", "div", "bce_loss",
+                                "sigmoid_bce"};
+  for (const char* t : kTags) {
+    if (OpIs(n, t)) return true;
+  }
+  return false;
+}
+
+/// Fused [1 x 1] reductions (mean, Σ a·w, Σ a²). `sum` keeps its own branch
+/// below for historical reasons; these share its only rule.
+bool IsScalarReduction(const Impl* n) {
+  static const char* kTags[] = {"mean", "weighted_sum", "squared_norm"};
   for (const char* t : kTags) {
     if (OpIs(n, t)) return true;
   }
@@ -184,7 +195,16 @@ class Checker {
         Add("shape-mismatch", Describe(n) + ": output width differs from table " +
                                   ShapeOf(ps[0].impl()));
       }
-    } else if (OpIs(n, "sum")) {
+    } else if (OpIs(n, "embedding_concat")) {
+      // Fused gather+concat: one parent per field table; output width is the
+      // sum of the table widths.
+      int total_cols = 0;
+      for (const Tensor& p : ps) total_cols += p.cols();
+      if (total_cols != n->cols) {
+        Add("shape-mismatch", Describe(n) + ": field tables sum to " +
+                                  std::to_string(total_cols) + " columns");
+      }
+    } else if (OpIs(n, "sum") || IsScalarReduction(n)) {
       if (n->rows != 1 || n->cols != 1) {
         Add("shape-mismatch", Describe(n) + ": reduction output must be [1 x 1]");
       }

@@ -1,0 +1,144 @@
+#ifndef DCMT_TENSOR_KERNELS_H_
+#define DCMT_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace dcmt {
+namespace kernels {
+
+// SIMD compute kernels behind ops.cc (DESIGN.md §14).
+//
+// Everything here is a pure function over raw row-major float buffers: no
+// Tensor, no autograd, no threading. ops.cc owns partitioning (ParallelFor)
+// and calls a kernel per chunk; kernels own the vectorized inner loops.
+//
+// Vectorization uses GCC/Clang portable vector extensions (8-wide float,
+// 32 bytes — one AVX2 register, two SSE/NEON registers on narrower targets);
+// no intrinsics headers and no new dependencies.
+//
+// Determinism contract (load-bearing — see DESIGN.md §14):
+//  * Every Map* kernel is LANE-WISE: element i's result depends only on
+//    x[i], never on its position within a SIMD block. Ragged heads/tails are
+//    computed with the same vector code on zero-padded registers, so
+//    splitting [0,N) at ANY boundary (ParallelFor with any grain, including
+//    the grain-cap-1 test mode) reproduces the unsplit results bit for bit.
+//  * The GEMM micro-kernel gives each output element a single fused
+//    multiply-add chain over ascending k, identical in every row-tile
+//    variant, so C[i][j] is bit-identical regardless of how rows are
+//    chunked across threads or which row-remainder kernel computes row i.
+//  * Transcendentals (VExp/VLog inside) are polynomial implementations that
+//    agree with libm to a few ulp but are NOT bit-identical to libm; exact
+//    identities that tests rely on are preserved by construction:
+//    exp(0) == 1, log(1) == 0, sigmoid(0) == 0.5.
+
+/// SIMD lane count of the float vectors used throughout.
+inline constexpr int kSimdWidth = 8;
+/// GEMM register tile: kGemmRowTile x kGemmColTile outputs per micro-kernel
+/// invocation (kGemmColTile = two SIMD registers of columns).
+inline constexpr int kGemmRowTile = 6;
+inline constexpr int kGemmColTile = 16;
+
+// --- GEMM: C[m x n] = A[m x k] * B[k x n] ----------------------------------
+
+/// Floats required for the packed image of B (zero-padded 16-column panels).
+std::int64_t GemmPackedSize(int k, int n);
+
+/// Packs row-major B[k x n] into column panels: packed[panel][p][0..15] holds
+/// B[p][16*panel .. 16*panel+15], zero-padded past column n. Padding lanes
+/// contribute exact zeros to the micro-kernel accumulators, so ragged column
+/// counts need no scalar epilogue.
+void GemmPackB(const float* b, int k, int n, float* packed);
+
+/// Computes output rows [i0, i1) of C = A * B from packed B (overwrites C).
+/// Safe to call concurrently for disjoint row ranges.
+void GemmRowsPacked(const float* a, const float* packed, float* c, int k,
+                    int n, std::int64_t i0, std::int64_t i1);
+
+/// Accumulates rows [i0, i1) of dA += dC * B^T. B is the unpacked row-major
+/// operand (its rows are already contiguous for the dot products).
+void GemmGradARows(const float* dc, const float* b, float* da, int k, int n,
+                   std::int64_t i0, std::int64_t i1);
+
+/// Accumulates rows [p0, p1) of dB += A^T * dC. Each dB element sees its m
+/// contributions in ascending-i order — the serial accumulation order — so
+/// the result is bit-identical at any row partition.
+void GemmGradBRows(const float* a, const float* dc, float* db, int m, int k,
+                   int n, std::int64_t p0, std::int64_t p1);
+
+// --- Elementwise maps over [i0, i1) of contiguous buffers ------------------
+// Forward kernels overwrite y; *Grad kernels ACCUMULATE into the gradient
+// buffer (xg += g * d/dx), matching autograd's += contract.
+
+void MapSigmoid(const float* x, float* y, std::int64_t i0, std::int64_t i1);
+/// xg += g * y * (1 - y); `y` is the sigmoid output.
+void MapSigmoidGrad(const float* y, const float* g, float* xg, std::int64_t i0,
+                    std::int64_t i1);
+
+void MapRelu(const float* x, float* y, std::int64_t i0, std::int64_t i1);
+void MapReluGrad(const float* x, const float* g, float* xg, std::int64_t i0,
+                 std::int64_t i1);
+
+void MapTanh(const float* x, float* y, std::int64_t i0, std::int64_t i1);
+/// xg += g * (1 - y^2); `y` is the tanh output.
+void MapTanhGrad(const float* y, const float* g, float* xg, std::int64_t i0,
+                 std::int64_t i1);
+
+/// exp clamped to [-87.34, 88.38] (the finite-float range); out-of-range
+/// inputs saturate instead of returning 0/inf like libm.
+void MapExp(const float* x, float* y, std::int64_t i0, std::int64_t i1);
+/// xg += g * y; `y` is the exp output.
+void MapExpGrad(const float* y, const float* g, float* xg, std::int64_t i0,
+                std::int64_t i1);
+
+void MapLog(const float* x, float* y, float eps, std::int64_t i0,
+            std::int64_t i1);
+/// xg += g / max(x, eps).
+void MapLogGrad(const float* x, const float* g, float* xg, float eps,
+                std::int64_t i0, std::int64_t i1);
+
+void MapSoftplus(const float* x, float* y, std::int64_t i0, std::int64_t i1);
+/// xg += g * sigmoid(x).
+void MapSoftplusGrad(const float* x, const float* g, float* xg,
+                     std::int64_t i0, std::int64_t i1);
+
+/// out[i] = -y[i] log(p') - (1-y[i]) log(1-p'), p' = clamp(p[i], eps, 1-eps).
+void MapBce(const float* p, const float* y, float* out, float eps,
+            std::int64_t i0, std::int64_t i1);
+/// pg += g * (p'-y)/(p'(1-p')) and/or yg += g * log((1-p')/p'); either
+/// gradient pointer may be null.
+void MapBceGrad(const float* p, const float* y, const float* g, float* pg,
+                float* yg, float eps, std::int64_t i0, std::int64_t i1);
+
+/// Fused sigmoid + BCE on logits z: out[i] = max(z,0) - z*y + log1p(e^-|z|).
+/// Needs no probability clamp — the logit form is finite for all z.
+void MapSigmoidBce(const float* z, const float* y, float* out, std::int64_t i0,
+                   std::int64_t i1);
+/// zg += g * (sigmoid(z) - y) and/or yg += g * (-z); either may be null.
+void MapSigmoidBceGrad(const float* z, const float* y, const float* g,
+                       float* zg, float* yg, std::int64_t i0, std::int64_t i1);
+
+// --- Row kernels (one call per matrix row; row-local, any row partition) ---
+
+/// orow = softmax(row) over n columns (max-subtracted, vectorized).
+void SoftmaxRowForward(const float* row, float* orow, int n);
+/// arow += y * (g - dot(g, y)) for one row of n columns; `y` is the softmax
+/// output row.
+void SoftmaxRowBackward(const float* y, const float* g, float* arow, int n);
+
+// --- Reduction partials (scalar loops, double accumulators) ----------------
+// These are deliberately NOT vectorized: they reproduce, bit for bit, the
+// serial accumulation order of the reference composites (Sum, Sum∘Mul,
+// Sum∘Square) that the fused Mean/WeightedSum/SquaredNorm ops replace.
+
+/// sum_{i in [i0,i1)} x[i], accumulated in double.
+double ReduceSum(const float* x, std::int64_t i0, std::int64_t i1);
+/// sum (a[i]*w[i]) — float product first (as Mul would round), then widened.
+double ReduceDot(const float* a, const float* w, std::int64_t i0,
+                 std::int64_t i1);
+/// sum (x[i]*x[i]) — float square first, then widened.
+double ReduceSquares(const float* x, std::int64_t i0, std::int64_t i1);
+
+}  // namespace kernels
+}  // namespace dcmt
+
+#endif  // DCMT_TENSOR_KERNELS_H_

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace dcmt {
 namespace ops {
@@ -17,22 +18,30 @@ namespace {
 // handle would create a shared_ptr cycle and leak the entire upstream graph
 // (see Tensor::SetBackwardFn).
 //
-// Threading: kernels partition work with core::ParallelFor. Partitions are
-// static and write disjoint output ranges; wherever a gradient element
-// accumulates contributions from several input elements, the partition is
-// chosen so that each accumulator sees its contributions in the same order
-// as the original serial loop (see DESIGN.md "Parallel runtime"). With one
-// thread every kernel degrades to the exact serial loop of the scalar
-// engine.
+// Threading: kernels partition work with core::ParallelFor; the vectorized
+// inner loops live in tensor/kernels.cc. Partitions are static and write
+// disjoint output ranges; wherever a gradient element accumulates
+// contributions from several input elements, the partition is chosen so that
+// each accumulator sees its contributions in the same order at any chunk
+// count (see DESIGN.md §9/§14). The kernels are partition-invariant by
+// construction — splitting a range at any boundary reproduces the unsplit
+// results bit for bit — so thread count never changes values outside the
+// chunked reductions (Sum and the fused reductions built on its scheme).
 
 using core::ParallelFor;
 using core::ParallelForChunks;
 
-/// Minimum elementwise operations per chunk before a kernel fans out; keeps
-/// pool wake-up costs invisible on the small tensors that dominate tests.
-constexpr std::int64_t kElementwiseGrain = 8192;
-/// Minimum multiply-adds per chunk for matmul-shaped kernels.
-constexpr std::int64_t kMatMulGrain = 16384;
+/// Minimum elementwise operations per chunk before a kernel fans out. With
+/// the SIMD kernels an element costs ~1ns, so anything below ~100k elements
+/// loses more to pool dispatch than it gains from parallelism (the 0.88x
+/// regression BENCH_engine.json caught at 4 threads on a small box).
+constexpr std::int64_t kElementwiseGrain = 131072;
+/// Minimum multiply-adds per chunk for matmul-shaped kernels. 2^23 madds is
+/// ~0.1ms of single-thread GEMM work — the break-even point where a second
+/// thread starts paying for its wake-up; the tower-shaped matmuls
+/// (batch ~<=512, widths ~<=128) stay single-chunk, and only genuinely large
+/// GEMMs fan out.
+constexpr std::int64_t kMatMulGrain = 8388608;
 
 /// Row grain so each chunk holds at least `work` scalar ops at `per_row`
 /// ops per row.
@@ -75,8 +84,10 @@ bool AnyRequiresGrad(const Tensor& a, const Tensor& b) {
   return a.requires_grad() || b.requires_grad();
 }
 
-/// Builds a binary elementwise node. `fwd(av, bv)` computes the value;
-/// `dfda` / `dfdb` compute local partials given (av, bv, out).
+/// Builds a binary elementwise node for the plain-arithmetic family (add,
+/// mul, ...). `fwd(av, bv)` computes the value; `dfda` / `dfdb` compute
+/// local partials given (av, bv, out). The transcendental family bypasses
+/// this template for the vectorized kernels in tensor/kernels.cc.
 template <typename Fwd, typename DfDa, typename DfDb>
 Tensor BinaryOp(const char* op, const Tensor& a, const Tensor& b, Fwd fwd,
                 DfDa dfda, DfDb dfdb) {
@@ -148,6 +159,7 @@ Tensor BinaryOp(const char* op, const Tensor& a, const Tensor& b, Fwd fwd,
 }
 
 /// Builds a unary elementwise node; `dfdx(x, y)` is the local derivative.
+/// Like BinaryOp, this is the plain-arithmetic path only.
 template <typename Fwd, typename DfDx>
 Tensor UnaryOp(const char* op, const Tensor& a, Fwd fwd, DfDx dfdx) {
   const int m = a.rows(), n = a.cols();
@@ -178,6 +190,54 @@ Tensor UnaryOp(const char* op, const Tensor& a, Fwd fwd, DfDx dfdx) {
   return out;
 }
 
+using MapFn = void (*)(const float*, float*, std::int64_t, std::int64_t);
+using MapGradFn = void (*)(const float*, const float*, float*, std::int64_t,
+                           std::int64_t);
+
+/// Builds a unary node around a vectorized kernel pair from
+/// tensor/kernels.cc. `grad_from_output` selects whether the grad kernel's
+/// first operand is the op's output (sigmoid/tanh/exp) or its input
+/// (relu/softplus).
+Tensor UnaryKernelOp(const char* op, const Tensor& a, MapFn fwd, MapGradFn bwd,
+                     bool grad_from_output) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
+  out.SetOp(op);
+  const float* ad = a.data();
+  float* od = out.data();
+  const std::int64_t total = a.size();
+  ParallelFor(0, total, kElementwiseGrain,
+              [&](std::int64_t i0, std::int64_t i1) { fwd(ad, od, i0, i1); });
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, total, bwd, grad_from_output]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* src = grad_from_output ? self->data.data() : a_cap.data();
+      float* ag = a_cap.impl()->EnsureGrad();
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    bwd(src, og, ag, i0, i1);
+                  });
+    });
+  }
+  return out;
+}
+
+/// Packs B into zero-padded column panels for the GEMM micro-kernel, reusing
+/// a per-thread scratch buffer (no allocation in the serving steady state).
+/// The returned pointer stays valid through the caller's ParallelFor: worker
+/// threads only read it, and MatMul never nests inside another MatMul.
+const float* PackB(const float* bd, int k, int n) {
+  thread_local std::vector<float> scratch;
+  const std::int64_t need = kernels::GemmPackedSize(k, n);
+  if (static_cast<std::int64_t>(scratch.size()) < need) {
+    scratch.resize(static_cast<std::size_t>(need));
+  }
+  kernels::GemmPackB(bd, k, n, scratch.data());
+  return scratch.data();
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -186,23 +246,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::MakeNode(m, n, {a, b}, AnyRequiresGrad(a, b));
   out.SetOp("matmul");
   const float* ad = a.data();
-  const float* bd = b.data();
   float* od = out.data();
-  // Row-parallel ikj loop order: each chunk owns a slab of output rows and
-  // streams through b's rows; good cache behaviour for the small-to-medium
-  // dense shapes this library uses.
+  // Packed-panel SIMD GEMM (DESIGN.md §14): B is repacked into 16-column
+  // zero-padded panels once, then row chunks run the register-tiled
+  // micro-kernel. Output values are invariant to the row partition, so any
+  // thread count produces identical bits.
+  const float* packed = PackB(b.data(), k, n);
   ParallelFor(0, m, RowGrain(kMatMulGrain, static_cast<std::int64_t>(k) * n),
               [&](std::int64_t i0, std::int64_t i1) {
-                for (std::int64_t i = i0; i < i1; ++i) {
-                  float* orow = od + static_cast<std::size_t>(i) * n;
-                  for (int p = 0; p < k; ++p) {
-                    const float av = ad[static_cast<std::size_t>(i) * k + p];
-                    // dcmt-lint: allow(float-eq) — exact-zero skip is lossless.
-                    if (av == 0.0f) continue;
-                    const float* brow = bd + static_cast<std::size_t>(p) * n;
-                    for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-                  }
-                }
+                kernels::GemmRowsPacked(ad, packed, od, k, n, i0, i1);
               });
   if (out.requires_grad()) {
     Tensor a_cap = a, b_cap = b;
@@ -210,24 +262,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     out.SetBackwardFn([a_cap, b_cap, self, m, k, n]() mutable {
       const float* og = self->EnsureGrad();
       // dL/dA = dL/dOut * B^T  -> [m x k]. B's rows are contiguous, so the
-      // inner dot products already run over packed (transposed-B) memory;
-      // parallel chunks own disjoint slabs of A's gradient rows.
+      // vectorized dot products already run over packed (transposed-B)
+      // memory; chunks own disjoint slabs of A's gradient rows.
       if (a_cap.requires_grad()) {
         float* ag = a_cap.impl()->EnsureGrad();
         const float* b_d = b_cap.data();
         ParallelFor(
             0, m, RowGrain(kMatMulGrain, static_cast<std::int64_t>(k) * n),
             [&](std::int64_t i0, std::int64_t i1) {
-              for (std::int64_t i = i0; i < i1; ++i) {
-                const float* grow = og + static_cast<std::size_t>(i) * n;
-                float* arow = ag + static_cast<std::size_t>(i) * k;
-                for (int p = 0; p < k; ++p) {
-                  const float* brow = b_d + static_cast<std::size_t>(p) * n;
-                  float acc = 0.0f;
-                  for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-                  arow[p] += acc;
-                }
-              }
+              kernels::GemmGradARows(og, b_d, ag, k, n, i0, i1);
             });
       }
       // dL/dB = A^T * dL/dOut  -> [k x n]. Parallelized over B's gradient
@@ -240,16 +283,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         ParallelFor(
             0, k, RowGrain(kMatMulGrain, static_cast<std::int64_t>(m) * n),
             [&](std::int64_t p0, std::int64_t p1) {
-              for (std::int64_t p = p0; p < p1; ++p) {
-                float* brow = bg + static_cast<std::size_t>(p) * n;
-                for (int i = 0; i < m; ++i) {
-                  const float av = a_d[static_cast<std::size_t>(i) * k + p];
-                  // dcmt-lint: allow(float-eq) — exact-zero skip is lossless.
-                  if (av == 0.0f) continue;
-                  const float* grow = og + static_cast<std::size_t>(i) * n;
-                  for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
-                }
-              }
+              kernels::GemmGradBRows(a_d, og, bg, m, k, n, p0, p1);
             });
       }
     });
@@ -310,42 +344,50 @@ Tensor OneMinus(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      "sigmoid", a,
-      [](float x) {
-        // Numerically stable in both tails.
-        if (x >= 0.0f) {
-          const float e = std::exp(-x);
-          return 1.0f / (1.0f + e);
-        }
-        const float e = std::exp(x);
-        return e / (1.0f + e);
-      },
-      [](float, float y) { return y * (1.0f - y); });
+  return UnaryKernelOp("sigmoid", a, kernels::MapSigmoid,
+                       kernels::MapSigmoidGrad, /*grad_from_output=*/true);
 }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  return UnaryKernelOp("relu", a, kernels::MapRelu, kernels::MapReluGrad,
+                       /*grad_from_output=*/false);
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      "tanh", a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  return UnaryKernelOp("tanh", a, kernels::MapTanh, kernels::MapTanhGrad,
+                       /*grad_from_output=*/true);
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      "exp", a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+  return UnaryKernelOp("exp", a, kernels::MapExp, kernels::MapExpGrad,
+                       /*grad_from_output=*/true);
 }
 
 Tensor Log(const Tensor& a, float eps) {
-  return UnaryOp(
-      "log", a, [eps](float x) { return std::log(std::max(x, eps)); },
-      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeNode(m, n, {a}, a.requires_grad());
+  out.SetOp("log");
+  const float* ad = a.data();
+  float* od = out.data();
+  const std::int64_t total = a.size();
+  ParallelFor(0, total, kElementwiseGrain,
+              [&](std::int64_t i0, std::int64_t i1) {
+                kernels::MapLog(ad, od, eps, i0, i1);
+              });
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, total, eps]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* a_d = a_cap.data();
+      float* ag = a_cap.impl()->EnsureGrad();
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    kernels::MapLogGrad(a_d, og, ag, eps, i0, i1);
+                  });
+    });
+  }
+  return out;
 }
 
 Tensor Abs(const Tensor& a) {
@@ -355,17 +397,8 @@ Tensor Abs(const Tensor& a) {
 }
 
 Tensor Softplus(const Tensor& a) {
-  return UnaryOp(
-      "softplus", a,
-      [](float x) {
-        // log(1+e^x) = max(x,0) + log1p(e^{-|x|}) is stable in both tails.
-        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
-      },
-      [](float x, float) {
-        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
-        const float e = std::exp(x);
-        return e / (1.0f + e);
-      });
+  return UnaryKernelOp("softplus", a, kernels::MapSoftplus,
+                       kernels::MapSoftplusGrad, /*grad_from_output=*/false);
 }
 
 Tensor Square(const Tensor& a) {
@@ -518,6 +551,87 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
   return out;
 }
 
+Tensor EmbeddingConcat(const std::vector<Tensor>& tables,
+                       const std::vector<std::vector<int>>& field_ids) {
+  if (tables.empty()) Fatal("EmbeddingConcat needs at least one table");
+  if (field_ids.size() != tables.size()) {
+    Fatal("EmbeddingConcat field count mismatch");
+  }
+  const int b = static_cast<int>(field_ids[0].size());
+  if (b == 0) Fatal("EmbeddingConcat with empty ids");
+  int total_cols = 0;
+  bool needs_grad = false;
+  for (std::size_t f = 0; f < tables.size(); ++f) {
+    if (static_cast<int>(field_ids[f].size()) != b) {
+      Fatal("EmbeddingConcat ragged id lists");
+    }
+    const int v = tables[f].rows();
+    for (int id : field_ids[f]) {
+      if (id < 0 || id >= v) Fatal("EmbeddingConcat id out of vocabulary range");
+    }
+    total_cols += tables[f].cols();
+    needs_grad = needs_grad || tables[f].requires_grad();
+  }
+  Tensor out = Tensor::MakeNode(b, total_cols, tables, needs_grad);
+  out.SetOp("embedding_concat");
+  float* od = out.data();
+  // Fused gather+concat: each output row is assembled directly from the
+  // tables — no per-field intermediate tensors, one pass over the output.
+  ParallelFor(0, b, RowGrain(kElementwiseGrain, total_cols),
+              [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                  float* dst = od + static_cast<std::size_t>(r) * total_cols;
+                  for (std::size_t f = 0; f < tables.size(); ++f) {
+                    const int d = tables[f].cols();
+                    const float* src =
+                        tables[f].data() +
+                        static_cast<std::size_t>(field_ids[f][r]) * d;
+                    std::copy(src, src + d, dst);
+                    dst += d;
+                  }
+                }
+              });
+  if (needs_grad) {
+    std::vector<Tensor> tables_cap = tables;
+    std::vector<std::vector<int>> ids_cap = field_ids;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([tables_cap, ids_cap, self, b, total_cols]() mutable {
+      const float* og = self->EnsureGrad();
+      int offset = 0;
+      for (std::size_t f = 0; f < tables_cap.size(); ++f) {
+        const int d = tables_cap[f].cols();
+        if (tables_cap[f].requires_grad()) {
+          float* tg = tables_cap[f].impl()->EnsureGrad();
+          const std::vector<int>& ids = ids_cap[f];
+          const int vocab = tables_cap[f].rows();
+          const int col0 = offset;
+          // Same vocab-range-sharded scatter as EmbeddingLookup's backward
+          // (bit-exact at any chunk count), reading this field's column
+          // slice of the fused gradient.
+          const std::int64_t scatter_work = static_cast<std::int64_t>(b) * d;
+          const std::int64_t grain_rows = std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(vocab) * kElementwiseGrain /
+                     std::max<std::int64_t>(1, scatter_work));
+          ParallelFor(0, vocab, grain_rows,
+                      [&](std::int64_t v0, std::int64_t v1) {
+                        for (int r = 0; r < b; ++r) {
+                          const int id = ids[static_cast<std::size_t>(r)];
+                          if (id < v0 || id >= v1) continue;
+                          const float* src =
+                              og + static_cast<std::size_t>(r) * total_cols +
+                              col0;
+                          float* dst = tg + static_cast<std::size_t>(id) * d;
+                          for (int c = 0; c < d; ++c) dst[c] += src[c];
+                        }
+                      });
+        }
+        offset += d;
+      }
+    });
+  }
+  return out;
+}
+
 Tensor Sum(const Tensor& a) {
   Tensor out = Tensor::MakeNode(1, 1, {a}, a.requires_grad());
   out.SetOp("sum");
@@ -529,9 +643,8 @@ Tensor Sum(const Tensor& a) {
   std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
   ParallelForChunks(0, total, kElementwiseGrain,
                     [&](int c, std::int64_t i0, std::int64_t i1) {
-                      double acc = 0.0;
-                      for (std::int64_t i = i0; i < i1; ++i) acc += ad[i];
-                      partial[static_cast<std::size_t>(c)] = acc;
+                      partial[static_cast<std::size_t>(c)] =
+                          kernels::ReduceSum(ad, i0, i1);
                     });
   double acc = 0.0;
   for (double p : partial) acc += p;
@@ -552,7 +665,37 @@ Tensor Sum(const Tensor& a) {
 }
 
 Tensor Mean(const Tensor& a) {
-  return Scale(Sum(a), 1.0f / static_cast<float>(a.size()));
+  // Fused Scale(Sum(a), 1/size): same chunked double partials as Sum, the
+  // 1/size factor applied after the float cast — bit-identical to the
+  // two-node composite (ops::reference::Mean) without the intermediate.
+  Tensor out = Tensor::MakeNode(1, 1, {a}, a.requires_grad());
+  out.SetOp("mean");
+  const float* ad = a.data();
+  const std::int64_t total = a.size();
+  const float inv = 1.0f / static_cast<float>(total);
+  const int chunks = std::max(1, core::ParallelChunks(total, kElementwiseGrain));
+  std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+  ParallelForChunks(0, total, kElementwiseGrain,
+                    [&](int c, std::int64_t i0, std::int64_t i1) {
+                      partial[static_cast<std::size_t>(c)] =
+                          kernels::ReduceSum(ad, i0, i1);
+                    });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  out.data()[0] = static_cast<float>(acc) * inv;
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, total, inv]() mutable {
+      const float g = self->EnsureGrad()[0] * inv;
+      float* ag = a_cap.impl()->EnsureGrad();
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) ag[i] += g;
+                  });
+    });
+  }
+  return out;
 }
 
 Tensor SumRows(const Tensor& a) {
@@ -597,17 +740,9 @@ Tensor SoftmaxRows(const Tensor& a) {
   ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
               [&](std::int64_t r0, std::int64_t r1) {
                 for (std::int64_t r = r0; r < r1; ++r) {
-                  const float* row = ad + static_cast<std::size_t>(r) * n;
-                  float* orow = od + static_cast<std::size_t>(r) * n;
-                  float mx = row[0];
-                  for (int c = 1; c < n; ++c) mx = std::max(mx, row[c]);
-                  float denom = 0.0f;
-                  for (int c = 0; c < n; ++c) {
-                    orow[c] = std::exp(row[c] - mx);
-                    denom += orow[c];
-                  }
-                  const float inv = 1.0f / denom;
-                  for (int c = 0; c < n; ++c) orow[c] *= inv;
+                  kernels::SoftmaxRowForward(
+                      ad + static_cast<std::size_t>(r) * n,
+                      od + static_cast<std::size_t>(r) * n, n);
                 }
               });
   if (out.requires_grad()) {
@@ -620,12 +755,10 @@ Tensor SoftmaxRows(const Tensor& a) {
       ParallelFor(0, m, RowGrain(kElementwiseGrain, n),
                   [&](std::int64_t r0, std::int64_t r1) {
                     for (std::int64_t r = r0; r < r1; ++r) {
-                      const float* grow = og + static_cast<std::size_t>(r) * n;
-                      const float* yrow = out_d + static_cast<std::size_t>(r) * n;
-                      float* arow = ag + static_cast<std::size_t>(r) * n;
-                      float dot = 0.0f;
-                      for (int c = 0; c < n; ++c) dot += grow[c] * yrow[c];
-                      for (int c = 0; c < n; ++c) arow[c] += yrow[c] * (grow[c] - dot);
+                      kernels::SoftmaxRowBackward(
+                          out_d + static_cast<std::size_t>(r) * n,
+                          og + static_cast<std::size_t>(r) * n,
+                          ag + static_cast<std::size_t>(r) * n, n);
                     }
                   });
     });
@@ -645,12 +778,10 @@ Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
   const float* yd = target.data();
   float* od = out.data();
   const std::int64_t total = pred.size();
-  ParallelFor(0, total, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float p = std::clamp(pd[i], eps, 1.0f - eps);
-      od[i] = -yd[i] * std::log(p) - (1.0f - yd[i]) * std::log(1.0f - p);
-    }
-  });
+  ParallelFor(0, total, kElementwiseGrain,
+              [&](std::int64_t i0, std::int64_t i1) {
+                kernels::MapBce(pd, yd, od, eps, i0, i1);
+              });
   if (out.requires_grad()) {
     Tensor pred_cap = pred, target_cap = target;
     Tensor::Impl* self = out.impl();
@@ -662,21 +793,130 @@ Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps) {
       float* tg = target_cap.requires_grad() ? target_cap.impl()->EnsureGrad() : nullptr;
       ParallelFor(0, total, kElementwiseGrain,
                   [&](std::int64_t i0, std::int64_t i1) {
+                    kernels::MapBceGrad(p_d, y_d, og, pg, tg, eps, i0, i1);
+                  });
+    });
+  }
+  return out;
+}
+
+Tensor SigmoidBce(const Tensor& logits, const Tensor& target) {
+  if (logits.rows() != target.rows() || logits.cols() != target.cols()) {
+    Fatal("SigmoidBce shape mismatch");
+  }
+  const int m = logits.rows(), n = logits.cols();
+  Tensor out =
+      Tensor::MakeNode(m, n, {logits, target}, AnyRequiresGrad(logits, target));
+  out.SetOp("sigmoid_bce");
+  const float* zd = logits.data();
+  const float* yd = target.data();
+  float* od = out.data();
+  const std::int64_t total = logits.size();
+  ParallelFor(0, total, kElementwiseGrain,
+              [&](std::int64_t i0, std::int64_t i1) {
+                kernels::MapSigmoidBce(zd, yd, od, i0, i1);
+              });
+  if (out.requires_grad()) {
+    Tensor z_cap = logits, y_cap = target;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([z_cap, y_cap, self, total]() mutable {
+      const float* og = self->EnsureGrad();
+      const float* z_d = z_cap.data();
+      const float* y_d = y_cap.data();
+      float* zg = z_cap.requires_grad() ? z_cap.impl()->EnsureGrad() : nullptr;
+      float* yg = y_cap.requires_grad() ? y_cap.impl()->EnsureGrad() : nullptr;
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    kernels::MapSigmoidBceGrad(z_d, y_d, og, zg, yg, i0, i1);
+                  });
+    });
+  }
+  return out;
+}
+
+Tensor WeightedSum(const Tensor& a, const Tensor& weights) {
+  if (a.rows() != weights.rows() || a.cols() != weights.cols()) {
+    Fatal("WeightedSum shape mismatch");
+  }
+  // Fused Sum(Mul(a, w)): float products widened into the same chunked
+  // double partial scheme as Sum — bit-identical to the composite
+  // (ops::reference::WeightedSum) without materializing the product tensor.
+  Tensor out = Tensor::MakeNode(1, 1, {a, weights}, AnyRequiresGrad(a, weights));
+  out.SetOp("weighted_sum");
+  const float* ad = a.data();
+  const float* wd = weights.data();
+  const std::int64_t total = a.size();
+  const int chunks = std::max(1, core::ParallelChunks(total, kElementwiseGrain));
+  std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+  ParallelForChunks(0, total, kElementwiseGrain,
+                    [&](int c, std::int64_t i0, std::int64_t i1) {
+                      partial[static_cast<std::size_t>(c)] =
+                          kernels::ReduceDot(ad, wd, i0, i1);
+                    });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  out.data()[0] = static_cast<float>(acc);
+  if (out.requires_grad()) {
+    Tensor a_cap = a, w_cap = weights;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, w_cap, self, total]() mutable {
+      const float g = self->EnsureGrad()[0];
+      const float* a_d = a_cap.data();
+      const float* w_d = w_cap.data();
+      float* ag = a_cap.requires_grad() ? a_cap.impl()->EnsureGrad() : nullptr;
+      float* wg = w_cap.requires_grad() ? w_cap.impl()->EnsureGrad() : nullptr;
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
                     for (std::int64_t i = i0; i < i1; ++i) {
-                      const float p = std::clamp(p_d[i], eps, 1.0f - eps);
-                      // d/dp [-y log p - (1-y) log(1-p)] = (p - y) / (p (1-p))
-                      if (pg != nullptr) {
-                        pg[i] += og[i] * (p - y_d[i]) / (p * (1.0f - p));
-                      }
-                      // d/dy [-y log p - (1-y) log(1-p)] = log((1-p)/p)
-                      if (tg != nullptr) {
-                        tg[i] += og[i] * (std::log(1.0f - p) - std::log(p));
-                      }
+                      if (ag != nullptr) ag[i] += g * w_d[i];
+                      if (wg != nullptr) wg[i] += g * a_d[i];
                     }
                   });
     });
   }
   return out;
+}
+
+Tensor SquaredNorm(const Tensor& a) {
+  // Fused Sum(Square(a)): float squares widened into chunked double
+  // partials — bit-identical to the composite (ops::reference::SquaredNorm)
+  // without allocating the squared tensor on the L2-regularization path.
+  Tensor out = Tensor::MakeNode(1, 1, {a}, a.requires_grad());
+  out.SetOp("squared_norm");
+  const float* ad = a.data();
+  const std::int64_t total = a.size();
+  const int chunks = std::max(1, core::ParallelChunks(total, kElementwiseGrain));
+  std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+  ParallelForChunks(0, total, kElementwiseGrain,
+                    [&](int c, std::int64_t i0, std::int64_t i1) {
+                      partial[static_cast<std::size_t>(c)] =
+                          kernels::ReduceSquares(ad, i0, i1);
+                    });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  out.data()[0] = static_cast<float>(acc);
+  if (out.requires_grad()) {
+    Tensor a_cap = a;
+    Tensor::Impl* self = out.impl();
+    out.SetBackwardFn([a_cap, self, total]() mutable {
+      const float g = self->EnsureGrad()[0];
+      const float* a_d = a_cap.data();
+      float* ag = a_cap.impl()->EnsureGrad();
+      ParallelFor(0, total, kElementwiseGrain,
+                  [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                      ag[i] += g * (2.0f * a_d[i]);
+                    }
+                  });
+    });
+  }
+  return out;
+}
+
+namespace reference {
+
+Tensor Mean(const Tensor& a) {
+  return Scale(Sum(a), 1.0f / static_cast<float>(a.size()));
 }
 
 Tensor WeightedSum(const Tensor& a, const Tensor& weights) {
@@ -688,5 +928,23 @@ Tensor WeightedSum(const Tensor& a, const Tensor& weights) {
 
 Tensor SquaredNorm(const Tensor& a) { return Sum(Square(a)); }
 
+Tensor SigmoidBce(const Tensor& logits, const Tensor& target) {
+  return BceLoss(Sigmoid(logits), target);
+}
+
+Tensor EmbeddingConcat(const std::vector<Tensor>& tables,
+                       const std::vector<std::vector<int>>& field_ids) {
+  if (tables.empty() || field_ids.size() != tables.size()) {
+    Fatal("EmbeddingConcat field count mismatch");
+  }
+  std::vector<Tensor> parts;
+  parts.reserve(tables.size());
+  for (std::size_t f = 0; f < tables.size(); ++f) {
+    parts.push_back(EmbeddingLookup(tables[f], field_ids[f]));
+  }
+  return parts.size() == 1 ? parts[0] : ConcatCols(parts);
+}
+
+}  // namespace reference
 }  // namespace ops
 }  // namespace dcmt

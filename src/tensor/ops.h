@@ -52,7 +52,8 @@ Tensor Relu(const Tensor& a);
 /// Hyperbolic tangent.
 Tensor Tanh(const Tensor& a);
 
-/// Natural exponential.
+/// Natural exponential. Saturates at the finite-float range (inputs outside
+/// [-87.34, 88.38] clamp instead of producing 0/inf — see DESIGN.md §14).
 Tensor Exp(const Tensor& a);
 
 /// Natural log of max(a, eps); gradient is 1/max(a, eps).
@@ -99,13 +100,54 @@ Tensor SoftmaxRows(const Tensor& a);
 /// labels produced by another head). eps must be positive (fatal otherwise).
 Tensor BceLoss(const Tensor& pred, const Tensor& target, float eps = 1e-7f);
 
-/// sum(a * w) for a constant weight tensor of identical shape -> [1 x 1].
+/// Fused sigmoid + binary cross-entropy on LOGITS (one graph node, one pass):
+///   out = -y log σ(z) - (1-y) log(1-σ(z)) = max(z,0) - z·y + log(1+e^-|z|).
+/// Numerically superior to BceLoss(Sigmoid(z), y): the logit form needs no
+/// probability clamp and stays finite for any z. Backward uses the
+/// algebraically simplified dL/dz = σ(z) - y (and dL/dy = -z when the target
+/// is differentiable). Same shape rules as BceLoss.
+Tensor SigmoidBce(const Tensor& logits, const Tensor& target);
+
+/// Fused embedding gather + column concat: one node replacing per-field
+/// EmbeddingLookup + ConcatCols without the intermediate per-field tensors.
+/// `field_ids[f]` are row indices into `tables[f]` [V_f x d_f]; output is
+/// [batch x Σ d_f] with field f's embedding at its column offset. Backward
+/// scatter-adds into each table's gradient with the same vocab-range
+/// sharding (and bit-exactness guarantee) as EmbeddingLookup.
+Tensor EmbeddingConcat(const std::vector<Tensor>& tables,
+                       const std::vector<std::vector<int>>& field_ids);
+
+/// sum(a * w) for a weight tensor of identical shape -> [1 x 1]. Fused
+/// single node (no Mul intermediate); bit-identical to Sum(Mul(a, w)).
 /// The workhorse for IPW / SNIPS-weighted losses where weights are detached.
 Tensor WeightedSum(const Tensor& a, const Tensor& weights);
 
-/// Sum of squares of all elements -> [1 x 1]. Used for L2 regularization.
+/// Sum of squares of all elements -> [1 x 1]. Fused single node (no Square
+/// intermediate); bit-identical to Sum(Square(a)). Used for L2
+/// regularization.
 Tensor SquaredNorm(const Tensor& a);
 
+namespace reference {
+
+// Unfused composite implementations, kept as the ground truth that
+// kernel_test checks the fused ops against (values AND gradients). Built
+// entirely from the public ops above; not for production use.
+
+/// Mean as Scale(Sum(a), 1/size) — what ops::Mean fuses.
+Tensor Mean(const Tensor& a);
+/// WeightedSum as Sum(Mul(a, w)) — what ops::WeightedSum fuses.
+Tensor WeightedSum(const Tensor& a, const Tensor& weights);
+/// SquaredNorm as Sum(Square(a)) — what ops::SquaredNorm fuses.
+Tensor SquaredNorm(const Tensor& a);
+/// SigmoidBce as BceLoss(Sigmoid(z), y) — what ops::SigmoidBce fuses (equal
+/// within tolerance only: the composite clamps probabilities, the fused op
+/// computes in logit space).
+Tensor SigmoidBce(const Tensor& logits, const Tensor& target);
+/// EmbeddingConcat as per-field EmbeddingLookup + ConcatCols.
+Tensor EmbeddingConcat(const std::vector<Tensor>& tables,
+                       const std::vector<std::vector<int>>& field_ids);
+
+}  // namespace reference
 }  // namespace ops
 }  // namespace dcmt
 

@@ -48,9 +48,14 @@ TEST(TwinTowerTest, OutputsAreIndependentHeadsBySharedTrunk) {
   Rng rng(1);
   core::TwinTower tower("twin", 6, 0, {8, 4}, &rng);
   Tensor deep = Tensor::Uniform(10, 6, -1.0f, 1.0f, &rng);
-  const auto [factual, counter] = tower.Forward(deep, Tensor());
+  const core::TwinTowerOut out = tower.Forward(deep, Tensor());
+  const Tensor& factual = out.factual;
+  const Tensor& counter = out.counterfactual;
   EXPECT_EQ(factual.rows(), 10);
   EXPECT_EQ(counter.rows(), 10);
+  // Both heads expose their pre-sigmoid logits for the fused losses.
+  EXPECT_TRUE(out.factual_logit.defined());
+  EXPECT_TRUE(out.counter_logit.defined());
   // Heads differ (different θ_f vs θ_cf) even with the shared trunk.
   bool any_diff = false;
   for (int i = 0; i < 10; ++i) {
@@ -63,10 +68,12 @@ TEST(TwinTowerTest, HardConstraintForcesComplement) {
   Rng rng(2);
   core::TwinTower tower("twin", 6, 0, {8}, &rng, /*hard_constraint=*/true);
   Tensor deep = Tensor::Uniform(10, 6, -1.0f, 1.0f, &rng);
-  const auto [factual, counter] = tower.Forward(deep, Tensor());
+  const core::TwinTowerOut out = tower.Forward(deep, Tensor());
   for (int i = 0; i < 10; ++i) {
-    EXPECT_NEAR(factual.at(i, 0) + counter.at(i, 0), 1.0f, 1e-6f);
+    EXPECT_NEAR(out.factual.at(i, 0) + out.counterfactual.at(i, 0), 1.0f, 1e-6f);
   }
+  // r̂* = 1 − r̂ is derived from the probability; there is no counter logit.
+  EXPECT_FALSE(out.counter_logit.defined());
 }
 
 TEST(TwinTowerTest, WideFeaturesContributeToLogits) {
@@ -75,13 +82,11 @@ TEST(TwinTowerTest, WideFeaturesContributeToLogits) {
   Tensor deep = Tensor::Uniform(5, 4, -1.0f, 1.0f, &rng);
   Tensor wide_a = Tensor::Full(5, 3, 0.0f);
   Tensor wide_b = Tensor::Full(5, 3, 1.0f);
-  const auto [fa, ca] = tower.Forward(deep, wide_a);
-  const auto [fb, cb] = tower.Forward(deep, wide_b);
-  (void)ca;
-  (void)cb;
+  const core::TwinTowerOut a = tower.Forward(deep, wide_a);
+  const core::TwinTowerOut b = tower.Forward(deep, wide_b);
   bool changed = false;
   for (int i = 0; i < 5; ++i) {
-    if (std::fabs(fa.at(i, 0) - fb.at(i, 0)) > 1e-6f) changed = true;
+    if (std::fabs(a.factual.at(i, 0) - b.factual.at(i, 0)) > 1e-6f) changed = true;
   }
   EXPECT_TRUE(changed);
 }
@@ -91,9 +96,9 @@ TEST(TwinTowerTest, SharedTrunkReceivesGradientFromBothHeads) {
   core::TwinTower tower("twin", 4, 0, {6}, &rng);
   Tensor deep = Tensor::Uniform(8, 4, -1.0f, 1.0f, &rng);
   tower.ZeroGrad();
-  const auto [factual, counter] = tower.Forward(deep, Tensor());
+  const core::TwinTowerOut out = tower.Forward(deep, Tensor());
   // Loss touching only the counterfactual head must still move the trunk.
-  ops::Sum(counter).Backward();
+  ops::Sum(out.counterfactual).Backward();
   int trunk_params_with_grad = 0;
   for (const Tensor& p : tower.parameters()) {
     if (p.name().find("trunk") == std::string::npos) continue;

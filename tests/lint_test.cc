@@ -82,6 +82,18 @@ TEST(LintTest, FloatEqFlaggedOnceIntEqIgnored) {
   EXPECT_EQ(diags[0].line, 3);
 }
 
+TEST(LintTest, FloatEqSanctionedInKernelLayer) {
+  // src/tensor/kernels* is the hand-vectorized micro-kernel layer where
+  // exact-identity comparisons are the determinism contract (DESIGN.md §14);
+  // the same content that fires above is clean there.
+  const auto diags = LintFileContent("src/tensor/kernels.cc",
+                                     ReadFixture("float_eq.cc"), "");
+  EXPECT_EQ(CountRule(diags, "float-eq"), 0);
+  const auto hdr_diags = LintFileContent("src/tensor/kernels.h",
+                                         ReadFixture("float_eq.cc"), "");
+  EXPECT_EQ(CountRule(hdr_diags, "float-eq"), 0);
+}
+
 TEST(LintTest, NondeterminismFlaggedOutsideRandom) {
   const auto diags = LintFileContent("src/models/nondeterminism.cc",
                                      ReadFixture("nondeterminism.cc"), "");

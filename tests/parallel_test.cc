@@ -103,7 +103,7 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_FALSE(ThreadPool::InParallelRegion());
 }
 
-// --- 1-thread path == the seed engine's serial loops ----------------------
+// --- 1-thread path == the reference computation ---------------------------
 
 TEST(ParallelKernels, SingleThreadMatMulMatchesSerialReference) {
   ThreadPool::Global().SetNumThreads(1);
@@ -112,17 +112,20 @@ TEST(ParallelKernels, SingleThreadMatMulMatchesSerialReference) {
   Tensor a = Tensor::Randn(m, k, 1.0f, &rng);
   Tensor b = Tensor::Randn(k, n, 1.0f, &rng);
   Tensor out = ops::MatMul(a, b);
-  // The seed's exact ikj accumulation, re-rolled by hand.
-  std::vector<float> expect(static_cast<std::size_t>(m) * n, 0.0f);
+  // Double-precision reference. The SIMD GEMM may contract multiply-adds
+  // into FMAs, so the comparison is tolerance-based (DESIGN.md §14); the
+  // bit-level guarantee the engine still makes is thread-count invariance,
+  // covered below.
   for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = a.data()[i * k + p];
-      // dcmt-lint: allow(float-eq) — mirrors the kernel's exact-zero skip.
-      if (av == 0.0f) continue;
-      for (int j = 0; j < n; ++j) expect[i * n + j] += av * b.data()[p * n + j];
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.data()[i * k + p]) *
+               static_cast<double>(b.data()[p * n + j]);
+      }
+      EXPECT_NEAR(out.data()[i * n + j], acc, 1e-5) << "element " << i << "," << j;
     }
   }
-  for (int i = 0; i < m * n; ++i) EXPECT_EQ(out.data()[i], expect[i]);
 }
 
 TEST(ParallelKernels, SingleThreadSumMatchesSerialReference) {

@@ -328,6 +328,11 @@ class Linter {
     const bool sanctioned = InConcurrencySite();
     const bool in_serve = StartsWith(path_, "src/serve/");
     const bool in_random = StartsWith(path_, "src/tensor/random.");
+    // src/tensor/kernels* is the sanctioned raw-loop micro-kernel layer
+    // (DESIGN.md §14): hand-vectorized code whose exact-identity float
+    // comparisons (exp(0) == 1, zero-masked lanes) ARE the determinism
+    // contract, so float-eq does not apply there.
+    const bool in_kernels = StartsWith(path_, "src/tensor/kernels");
     static const std::set<std::string> kConcurrencyIdents = {
         "thread",      "mutex",          "atomic",      "condition_variable",
         "lock_guard",  "unique_lock",    "scoped_lock", "shared_mutex",
@@ -381,8 +386,9 @@ class Linter {
                  "owning type or use a smart pointer");
         }
       }
-      // ==/!= against a floating-point literal.
-      if (t.text == "==" || t.text == "!=") {
+      // ==/!= against a floating-point literal (exempt in the kernel layer,
+      // where exact identities are the contract).
+      if (!in_kernels && (t.text == "==" || t.text == "!=")) {
         const Token* prev = Prev(i);
         const Token* next = Next(i);
         const bool prev_float =
