@@ -1,0 +1,112 @@
+#ifndef DCMT_CORE_RECORD_H_
+#define DCMT_CORE_RECORD_H_
+
+// The CRC-framed record container shared by every on-disk format in this
+// repo (v2 model/training checkpoints in src/nn/serialize, shard files and
+// shard manifests in src/data/shard). One file is:
+//
+//   file    := magic(8) version(u32) record* end-record
+//   record  := type(u32) payload_size(u64) payload crc32(u32)
+//
+// The CRC of each record covers its type, size and payload, so truncation,
+// bit flips and framing damage are all detected before any payload is
+// interpreted. Files must end with a type-0 terminator record followed
+// immediately by EOF; trailing garbage is rejected. Writers pair this with
+// core::AtomicWriteFile (tmp + fsync + rename) so a crash mid-save leaves
+// either the previous complete file or no file — never a torn one.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcmt {
+namespace core {
+
+/// Record type 0 terminates every record image, whatever the format.
+inline constexpr std::uint32_t kEndRecordType = 0;
+
+/// Builds a record payload from typed fields (little-endian PODs, u32-length
+/// strings, u64-length vectors) into an in-memory buffer.
+class PayloadWriter {
+ public:
+  void U8(std::uint8_t v);
+  void U32(std::uint32_t v);
+  void I32(std::int32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v);
+  void F32(float v);
+  void F64(double v);
+  void Str(std::string_view s);                     // u32 length + bytes
+  void F32Vec(const std::vector<float>& v);         // u64 count + data
+  void F32Array(const float* data, std::size_t n);  // same layout as F32Vec
+  void F64Vec(const std::vector<double>& v);        // u64 count + data
+  void I64Vec(const std::vector<std::int64_t>& v);  // u64 count + data
+  void I32Vec(const std::vector<std::int32_t>& v);  // u64 count + data
+  void U8Vec(const std::vector<std::uint8_t>& v);   // u64 count + data
+
+  const std::string& data() const { return buf_; }
+
+ private:
+  void Raw(const void* p, std::size_t n);
+  std::string buf_;
+};
+
+/// Bounds-checked mirror of PayloadWriter. Every getter returns false (and
+/// poisons the reader) on overrun; vector getters additionally reject counts
+/// larger than the remaining payload, so corrupt lengths cannot trigger huge
+/// allocations. Callers must end with AtEnd() to reject trailing bytes.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : rest_(payload) {}
+
+  bool U8(std::uint8_t* v);
+  bool U32(std::uint32_t* v);
+  bool I32(std::int32_t* v);
+  bool U64(std::uint64_t* v);
+  bool I64(std::int64_t* v);
+  bool F32(float* v);
+  bool F64(double* v);
+  bool Str(std::string* s, std::size_t max_len = 4096);
+  bool F32Vec(std::vector<float>* v);
+  bool F64Vec(std::vector<double>* v);
+  bool I64Vec(std::vector<std::int64_t>* v);
+  bool I32Vec(std::vector<std::int32_t>* v);
+  bool U8Vec(std::vector<std::uint8_t>* v);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && rest_.empty(); }
+
+ private:
+  bool Raw(void* p, std::size_t n);
+  template <typename T>
+  bool Vec(std::vector<T>* v);
+
+  std::string_view rest_;
+  bool ok_ = true;
+};
+
+/// Appends one framed record (type, size, payload, CRC) to `*out`.
+void AppendRecord(std::string* out, std::uint32_t type, std::string_view payload);
+
+/// One parsed record; `payload` points into the parsed file buffer.
+struct RecordView {
+  std::uint32_t type = kEndRecordType;
+  std::string_view payload;
+};
+
+/// Starts a record image: the 8-byte magic followed by the format version.
+std::string BeginRecordImage(const char (&magic)[8], std::uint32_t version);
+
+/// Validates an entire record image — magic, version, every record CRC, the
+/// type-0 terminator, and the absence of trailing bytes — and returns views
+/// of the records (terminator excluded). Returns false on any damage; no
+/// partial results are produced.
+bool ParseRecordImage(std::string_view file, const char (&magic)[8],
+                      std::uint32_t expected_version,
+                      std::vector<RecordView>* records);
+
+}  // namespace core
+}  // namespace dcmt
+
+#endif  // DCMT_CORE_RECORD_H_

@@ -3,9 +3,57 @@
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <utility>
 
 namespace dcmt {
 namespace data {
+
+BatchBuilder::BatchBuilder(const FeatureSchema& schema, int capacity)
+    : schema_(schema) {
+  if (capacity <= 0) {
+    std::fprintf(stderr, "BatchBuilder: non-positive capacity\n");
+    std::abort();
+  }
+  const std::size_t cap = static_cast<std::size_t>(capacity);
+  batch_.deep_ids.assign(schema_.deep_fields.size(), {});
+  batch_.wide_ids.assign(schema_.wide_fields.size(), {});
+  for (auto& v : batch_.deep_ids) v.reserve(cap);
+  for (auto& v : batch_.wide_ids) v.reserve(cap);
+  click_.reserve(cap);
+  conversion_.reserve(cap);
+  ctcvr_.reserve(cap);
+  batch_.click_raw.reserve(cap);
+  batch_.conversion_raw.reserve(cap);
+  batch_.true_ctr.reserve(cap);
+  batch_.true_cvr.reserve(cap);
+}
+
+void BatchBuilder::Add(const Example& e) {
+  const std::size_t n_deep = schema_.deep_fields.size();
+  const std::size_t n_wide = schema_.wide_fields.size();
+  for (std::size_t f = 0; f < n_deep; ++f) batch_.deep_ids[f].push_back(e.deep_ids[f]);
+  for (std::size_t f = 0; f < n_wide; ++f) batch_.wide_ids[f].push_back(e.wide_ids[f]);
+  click_.push_back(static_cast<float>(e.click));
+  conversion_.push_back(static_cast<float>(e.conversion));
+  ctcvr_.push_back(static_cast<float>(e.click && e.conversion ? 1 : 0));
+  batch_.click_raw.push_back(e.click);
+  batch_.conversion_raw.push_back(e.conversion);
+  batch_.true_ctr.push_back(e.true_ctr);
+  batch_.true_cvr.push_back(e.true_cvr);
+  ++size_;
+}
+
+Batch BatchBuilder::Finish() {
+  if (size_ <= 0) {
+    std::fprintf(stderr, "BatchBuilder: empty batch\n");
+    std::abort();
+  }
+  batch_.size = size_;
+  batch_.click = Tensor::ColumnVector(click_);
+  batch_.conversion = Tensor::ColumnVector(conversion_);
+  batch_.ctcvr = Tensor::ColumnVector(ctcvr_);
+  return std::move(batch_);
+}
 
 Batch MakeBatch(const std::vector<Example>& examples,
                 const std::vector<std::int64_t>& indices, std::int64_t first,
@@ -14,40 +62,11 @@ Batch MakeBatch(const std::vector<Example>& examples,
     std::fprintf(stderr, "MakeBatch: non-positive count\n");
     std::abort();
   }
-  Batch batch;
-  batch.size = count;
-  const std::size_t n_deep = schema.deep_fields.size();
-  const std::size_t n_wide = schema.wide_fields.size();
-  batch.deep_ids.assign(n_deep, {});
-  batch.wide_ids.assign(n_wide, {});
-  for (auto& v : batch.deep_ids) v.reserve(static_cast<std::size_t>(count));
-  for (auto& v : batch.wide_ids) v.reserve(static_cast<std::size_t>(count));
-
-  std::vector<float> click(static_cast<std::size_t>(count));
-  std::vector<float> conv(static_cast<std::size_t>(count));
-  std::vector<float> ctcvr(static_cast<std::size_t>(count));
-  batch.click_raw.resize(static_cast<std::size_t>(count));
-  batch.conversion_raw.resize(static_cast<std::size_t>(count));
-  batch.true_ctr.resize(static_cast<std::size_t>(count));
-  batch.true_cvr.resize(static_cast<std::size_t>(count));
-
+  BatchBuilder builder(schema, count);
   for (int b = 0; b < count; ++b) {
-    const Example& e = examples[static_cast<std::size_t>(indices[first + b])];
-    for (std::size_t f = 0; f < n_deep; ++f) batch.deep_ids[f].push_back(e.deep_ids[f]);
-    for (std::size_t f = 0; f < n_wide; ++f) batch.wide_ids[f].push_back(e.wide_ids[f]);
-    click[static_cast<std::size_t>(b)] = static_cast<float>(e.click);
-    conv[static_cast<std::size_t>(b)] = static_cast<float>(e.conversion);
-    ctcvr[static_cast<std::size_t>(b)] =
-        static_cast<float>(e.click && e.conversion ? 1 : 0);
-    batch.click_raw[static_cast<std::size_t>(b)] = e.click;
-    batch.conversion_raw[static_cast<std::size_t>(b)] = e.conversion;
-    batch.true_ctr[static_cast<std::size_t>(b)] = e.true_ctr;
-    batch.true_cvr[static_cast<std::size_t>(b)] = e.true_cvr;
+    builder.Add(examples[static_cast<std::size_t>(indices[first + b])]);
   }
-  batch.click = Tensor::ColumnVector(click);
-  batch.conversion = Tensor::ColumnVector(conv);
-  batch.ctcvr = Tensor::ColumnVector(ctcvr);
-  return batch;
+  return builder.Finish();
 }
 
 Batch MakeContiguousBatch(const Dataset& dataset, std::int64_t first, int count) {
@@ -61,11 +80,50 @@ Batch MakeContiguousBatch(const Dataset& dataset, std::int64_t first, int count)
   return MakeBatch(dataset.examples(), identity, first, count, dataset.schema());
 }
 
-Batcher::Batcher(const Dataset* dataset, int batch_size, Rng* rng)
-    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+std::vector<std::int64_t> ShardedEpochOrder(
+    const std::vector<std::int64_t>& shard_rows, Rng* rng) {
+  std::vector<std::int64_t> offsets(shard_rows.size() + 1, 0);
+  for (std::size_t s = 0; s < shard_rows.size(); ++s) {
+    if (shard_rows[s] < 0) {
+      std::fprintf(stderr, "ShardedEpochOrder: negative shard row count\n");
+      std::abort();
+    }
+    offsets[s + 1] = offsets[s] + shard_rows[s];
+  }
+  std::vector<std::int64_t> shard_perm(shard_rows.size());
+  std::iota(shard_perm.begin(), shard_perm.end(), 0);
+  if (rng != nullptr) rng->Shuffle(&shard_perm);
+
+  std::vector<std::int64_t> order;
+  order.reserve(static_cast<std::size_t>(offsets.back()));
+  std::vector<std::int64_t> local;
+  for (const std::int64_t s : shard_perm) {
+    local.resize(static_cast<std::size_t>(shard_rows[static_cast<std::size_t>(s)]));
+    std::iota(local.begin(), local.end(), 0);
+    if (rng != nullptr) rng->Shuffle(&local);
+    const std::int64_t base = offsets[static_cast<std::size_t>(s)];
+    for (const std::int64_t r : local) order.push_back(base + r);
+  }
+  return order;
+}
+
+Batcher::Batcher(const Dataset* dataset, int batch_size, Rng* rng,
+                 std::vector<std::int64_t> shard_plan)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shard_plan_(std::move(shard_plan)) {
   if (batch_size_ <= 0) {
     std::fprintf(stderr, "Batcher: batch_size must be positive\n");
     std::abort();
+  }
+  if (!shard_plan_.empty()) {
+    std::int64_t total = 0;
+    for (const std::int64_t rows : shard_plan_) total += rows;
+    if (total != dataset_->size()) {
+      std::fprintf(stderr, "Batcher: shard plan does not cover the dataset\n");
+      std::abort();
+    }
   }
   order_.resize(static_cast<std::size_t>(dataset_->size()));
   std::iota(order_.begin(), order_.end(), 0);
@@ -76,7 +134,12 @@ Batcher::Batcher(const Dataset* dataset, int batch_size, Rng* rng)
 }
 
 void Batcher::ShuffleIfNeeded() {
-  if (rng_ != nullptr) rng_->Shuffle(&order_);
+  if (rng_ == nullptr) return;
+  if (shard_plan_.empty()) {
+    rng_->Shuffle(&order_);
+  } else {
+    order_ = ShardedEpochOrder(shard_plan_, rng_);
+  }
 }
 
 bool Batcher::Next(Batch* batch) {

@@ -292,24 +292,52 @@ Example SyntheticLogGenerator::MakeExample(int user, int item, int position) con
   return e;
 }
 
+Example SyntheticLogGenerator::DrawExposure(Rng* rng) const {
+  const int user = static_cast<int>(rng->NextBounded(profile_.num_users));
+  // Mild popularity skew in the exposure policy, as in production logs.
+  const float skew = rng->Uniform();
+  const int item = std::min(profile_.num_items - 1,
+                            static_cast<int>(skew * skew * profile_.num_items));
+  const int pos = static_cast<int>(rng->NextBounded(kNumPositions));
+  Example e = MakeExample(user, item, pos);
+  e.click = rng->Bernoulli(e.true_ctr) ? 1 : 0;
+  e.oracle_conversion = rng->Bernoulli(e.true_cvr) ? 1 : 0;
+  e.conversion = (e.click && e.oracle_conversion) ? 1 : 0;
+  return e;
+}
+
 Dataset SyntheticLogGenerator::Generate(std::int64_t count, std::uint64_t stream) {
   Rng rng(Mix(profile_.seed) ^ Mix(stream ^ 0x5eedf00dULL));
   std::vector<Example> examples;
   examples.reserve(static_cast<std::size_t>(count));
   for (std::int64_t s = 0; s < count; ++s) {
-    const int user = static_cast<int>(rng.NextBounded(profile_.num_users));
-    // Mild popularity skew in the exposure policy, as in production logs.
-    const float skew = rng.Uniform();
-    const int item = std::min(profile_.num_items - 1,
-                              static_cast<int>(skew * skew * profile_.num_items));
-    const int pos = static_cast<int>(rng.NextBounded(kNumPositions));
-    Example e = MakeExample(user, item, pos);
-    e.click = rng.Bernoulli(e.true_ctr) ? 1 : 0;
-    e.oracle_conversion = rng.Bernoulli(e.true_cvr) ? 1 : 0;
-    e.conversion = (e.click && e.oracle_conversion) ? 1 : 0;
-    examples.push_back(std::move(e));
+    examples.push_back(DrawExposure(&rng));
   }
   return Dataset(profile_.name, Schema(), std::move(examples));
+}
+
+bool SyntheticLogGenerator::GenerateToShards(const std::string& dir,
+                                             std::int64_t count,
+                                             std::uint64_t stream,
+                                             const ShardWriterConfig& config,
+                                             std::string* error) {
+  core::FileSystem* fs =
+      config.fs != nullptr ? config.fs : core::FileSystem::Default();
+  if (!fs->CreateDirectories(dir)) {
+    *error = dir + ": cannot create directory";
+    return false;
+  }
+  ShardWriter writer(dir, Schema(), config);
+  Rng rng(Mix(profile_.seed) ^ Mix(stream ^ 0x5eedf00dULL));
+  for (std::int64_t s = 0; s < count; ++s) {
+    writer.Append(DrawExposure(&rng));
+    if (!writer.ok()) break;  // I/O already failed; stop drawing
+  }
+  if (!writer.Finish()) {
+    *error = writer.error();
+    return false;
+  }
+  return true;
 }
 
 Dataset SyntheticLogGenerator::GenerateTrain() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/shard.h"
 #include "tensor/random.h"
 
 namespace dcmt {
@@ -111,6 +112,20 @@ class SyntheticLogGenerator {
   /// Generates `count` exposures with an arbitrary stream id (used by the
   /// online simulator for per-day streams).
   Dataset Generate(std::int64_t count, std::uint64_t stream);
+
+  /// Streams `count` exposures of `stream` directly into `dir` as a sharded
+  /// dataset (DESIGN.md §15), never materializing more than one shard of
+  /// rows: this is how paper-scale (10⁷-exposure) logs are produced with
+  /// bounded RSS. Rows are bit-identical to Generate(count, stream) — both
+  /// paths draw through DrawExposure with the same stream-seeded Rng.
+  /// Returns false with `*error` set on I/O failure.
+  bool GenerateToShards(const std::string& dir, std::int64_t count,
+                        std::uint64_t stream, const ShardWriterConfig& config,
+                        std::string* error);
+
+  /// Draws one labelled exposure, advancing `rng` exactly as one iteration
+  /// of Generate()'s row loop does.
+  Example DrawExposure(Rng* rng) const;
 
   /// Ground-truth click propensity for a (user, item, position) triple.
   /// Exposed for the online simulator, which needs to roll user behaviour

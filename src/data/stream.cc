@@ -1,0 +1,304 @@
+#include "data/stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <utility>
+
+namespace dcmt {
+namespace data {
+namespace {
+
+std::string JoinPath(const std::string& dir, const std::string& file) {
+  if (dir.empty()) return file;
+  if (dir.back() == '/') return dir + file;
+  return dir + "/" + file;
+}
+
+}  // namespace
+
+// --- StreamingDataset ------------------------------------------------------
+
+bool StreamingDataset::Open(const std::string& dir,
+                            const StreamingConfig& config,
+                            StreamingDataset* out, std::string* error) {
+  *out = StreamingDataset();
+  out->dir_ = dir;
+  out->fs_ = config.fs != nullptr ? config.fs : core::FileSystem::Default();
+  if (!ReadManifest(out->fs_, dir, &out->manifest_, error)) return false;
+  // A missing middle shard must fail here, at open time, not after half an
+  // epoch has already been consumed.
+  for (const ShardInfo& info : out->manifest_.shards) {
+    const std::string path = JoinPath(dir, info.file);
+    if (info.file.empty() || !out->fs_->Exists(path)) {
+      *error = path + ": shard file listed in manifest is missing";
+      return false;
+    }
+  }
+  out->offsets_ = out->manifest_.ShardRowOffsets();
+  return true;
+}
+
+bool StreamingDataset::ReadShard(int shard_index, std::vector<Example>* rows,
+                                 std::string* error) const {
+  if (shard_index < 0 || shard_index >= num_shards()) {
+    *error = dir_ + ": shard index out of range";
+    return false;
+  }
+  const std::string path =
+      JoinPath(dir_, manifest_.shards[static_cast<std::size_t>(shard_index)].file);
+  return ReadShardFile(fs_, path, manifest_, shard_index, rows, error);
+}
+
+bool StreamingDataset::Materialize(Dataset* out, std::string* error) const {
+  std::vector<Example> examples;
+  examples.reserve(static_cast<std::size_t>(size()));
+  std::vector<Example> rows;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (!ReadShard(s, &rows, error)) return false;
+    for (Example& e : rows) examples.push_back(std::move(e));
+  }
+  *out = Dataset(dir_, manifest_.schema, std::move(examples));
+  return true;
+}
+
+// --- StreamingBatcher ------------------------------------------------------
+
+StreamingBatcher::StreamingBatcher(const StreamingDataset* dataset,
+                                   int batch_size, Rng* rng, int prefetch_depth)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      prefetch_depth_(prefetch_depth) {
+  if (batch_size_ <= 0) {
+    std::fprintf(stderr, "StreamingBatcher: batch_size must be positive\n");
+    std::abort();
+  }
+  // Mirrors Batcher's constructor: identity order, then the first epoch's
+  // one and only shuffle — the same ShardedEpochOrder draw sequence an
+  // in-RAM Batcher with this shard plan performs.
+  order_.resize(static_cast<std::size_t>(dataset_->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  ShuffleIfNeeded();
+  if (rng_ == nullptr && !DeriveVisits()) {
+    std::fprintf(stderr, "StreamingBatcher: identity order not shard-sequential\n");
+    std::abort();
+  }
+}
+
+StreamingBatcher::~StreamingBatcher() { StopPipeline(); }
+
+void StreamingBatcher::ShuffleIfNeeded() {
+  if (rng_ == nullptr) return;
+  order_ = ShardedEpochOrder(dataset_->ShardRowCounts(), rng_);
+  if (!DeriveVisits()) {
+    // ShardedEpochOrder is shard-sequential by construction.
+    std::fprintf(stderr, "StreamingBatcher: internal order derivation failed\n");
+    std::abort();
+  }
+}
+
+bool StreamingBatcher::DeriveVisits() {
+  visits_.clear();
+  visit_starts_.clear();
+  const std::vector<std::int64_t>& offsets = dataset_->ShardRowOffsets();
+  const std::vector<std::int64_t> shard_rows = dataset_->ShardRowCounts();
+  std::vector<char> seen(shard_rows.size(), 0);
+  int run_shard = -1;
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    const std::int64_t global = order_[pos];
+    const int s = static_cast<int>(
+        std::upper_bound(offsets.begin(), offsets.end(), global) -
+        offsets.begin() - 1);
+    if (s != run_shard) {
+      // A shard may occupy exactly one contiguous run of the epoch order;
+      // a second run would force the stream to decode it twice per epoch.
+      if (seen[static_cast<std::size_t>(s)]) return false;
+      seen[static_cast<std::size_t>(s)] = 1;
+      run_shard = s;
+      visits_.push_back(s);
+      visit_starts_.push_back(static_cast<std::int64_t>(pos));
+    }
+  }
+  visit_starts_.push_back(static_cast<std::int64_t>(order_.size()));
+  // Each run must cover its whole shard, so mid-epoch resumption can map any
+  // cursor to exactly one (shard, offset) pair.
+  for (std::size_t v = 0; v < visits_.size(); ++v) {
+    const std::int64_t run_len = visit_starts_[v + 1] - visit_starts_[v];
+    if (run_len != shard_rows[static_cast<std::size_t>(visits_[v])]) return false;
+  }
+  return true;
+}
+
+void StreamingBatcher::StopPipeline() {
+  if (channel_ != nullptr) {
+    channel_->Cancel();
+    worker_.Join();
+    channel_.reset();
+  }
+  next_pipeline_visit_ = 0;
+  current_ = DecodedShard{};
+  current_visit_ = 0;
+}
+
+void StreamingBatcher::Fail(const std::string& message) {
+  failed_ = true;
+  error_ = message;
+  StopPipeline();
+}
+
+bool StreamingBatcher::EnsureVisit(std::size_t v) {
+  if (current_.shard_index >= 0 && current_visit_ == v) return true;
+
+  if (prefetch_depth_ <= 0) {
+    // Synchronous mode: decode on the consumer thread; zero concurrency
+    // (required when the file system is a FaultInjectingFileSystem, whose
+    // open counter is not thread-safe).
+    DecodedShard d;
+    d.shard_index = visits_[v];
+    d.ok = dataset_->ReadShard(d.shard_index, &d.rows, &d.error);
+    if (!d.ok) {
+      Fail(d.error);
+      return false;
+    }
+    current_ = std::move(d);
+    current_visit_ = v;
+    ++shards_decoded_;
+    return true;
+  }
+
+  if (channel_ == nullptr || next_pipeline_visit_ != v) {
+    // (Re)start the pipeline at visit v. The worker reads only value
+    // snapshots (its slice of the visit list) and the immutable dataset;
+    // the channel is the sole shared object.
+    StopPipeline();
+    channel_ = std::make_unique<core::BoundedChannel<DecodedShard>>(
+        static_cast<std::size_t>(prefetch_depth_));
+    core::BoundedChannel<DecodedShard>* chan = channel_.get();
+    const StreamingDataset* dataset = dataset_;
+    std::vector<int> visits(visits_.begin() + static_cast<std::ptrdiff_t>(v),
+                            visits_.end());
+    worker_ = core::WorkerThread([chan, dataset, visits = std::move(visits)] {
+      for (const int shard : visits) {
+        DecodedShard d;
+        d.shard_index = shard;
+        d.ok = dataset->ReadShard(shard, &d.rows, &d.error);
+        const bool decoded_ok = d.ok;
+        if (!chan->Push(std::move(d))) return;  // consumer cancelled
+        if (!decoded_ok) return;  // failure delivered; stop producing
+      }
+      chan->Close();
+    });
+    next_pipeline_visit_ = v;
+  }
+
+  DecodedShard d;
+  if (!channel_->Pop(&d)) {
+    Fail(dataset_->dir() + ": prefetch pipeline ended unexpectedly");
+    return false;
+  }
+  ++next_pipeline_visit_;
+  if (!d.ok) {
+    Fail(d.error);
+    return false;
+  }
+  if (d.shard_index != visits_[v]) {
+    Fail(dataset_->dir() + ": prefetch delivered out-of-order shard");
+    return false;
+  }
+  current_ = std::move(d);
+  current_visit_ = v;
+  ++shards_decoded_;
+  return true;
+}
+
+bool StreamingBatcher::Next(Batch* batch) {
+  if (failed_) return false;
+  if (cursor_ >= size()) {
+    // Epoch finished: single fresh_epoch_ clear site, mirroring Batcher.
+    cursor_ = 0;
+    fresh_epoch_ = false;
+    return false;
+  }
+  if (!fresh_epoch_ && cursor_ == 0) {
+    // Lazy epoch start: drop the previous epoch's decode state, reshuffle.
+    StopPipeline();
+    ShuffleIfNeeded();
+    fresh_epoch_ = true;
+  }
+  const int count = static_cast<int>(
+      std::min<std::int64_t>(batch_size_, size() - cursor_));
+  const std::vector<std::int64_t>& offsets = dataset_->ShardRowOffsets();
+  BatchBuilder builder(schema(), count);
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t pos = cursor_ + i;
+    std::size_t v;
+    if (current_.shard_index >= 0) {
+      v = current_visit_;
+    } else {
+      // No shard resident (epoch start or post-restore): locate the visit
+      // containing this order position.
+      v = static_cast<std::size_t>(
+          std::upper_bound(visit_starts_.begin(), visit_starts_.end(), pos) -
+          visit_starts_.begin() - 1);
+    }
+    while (pos >= visit_starts_[v + 1]) ++v;
+    if (!EnsureVisit(v)) return false;
+    const std::int64_t global = order_[static_cast<std::size_t>(pos)];
+    const std::int64_t base = offsets[static_cast<std::size_t>(visits_[v])];
+    builder.Add(current_.rows[static_cast<std::size_t>(global - base)]);
+  }
+  *batch = builder.Finish();
+  cursor_ += count;
+  return true;
+}
+
+void StreamingBatcher::Rewind() {
+  cursor_ = 0;
+  fresh_epoch_ = true;
+  // Replay the same order from the top; the resident shard (if any) belongs
+  // to an arbitrary mid-epoch visit, so restart decoding from visit 0.
+  StopPipeline();
+}
+
+std::int64_t StreamingBatcher::batches_per_epoch() const {
+  return (size() + batch_size_ - 1) / batch_size_;
+}
+
+BatcherState StreamingBatcher::SaveState() const {
+  BatcherState state;
+  state.order = order_;
+  state.cursor = cursor_;
+  state.fresh_epoch = fresh_epoch_;
+  return state;
+}
+
+bool StreamingBatcher::RestoreState(const BatcherState& state) {
+  if (static_cast<std::int64_t>(state.order.size()) != size()) return false;
+  if (state.cursor < 0 || state.cursor > size()) return false;
+  for (const std::int64_t idx : state.order) {
+    if (idx < 0 || idx >= size()) return false;
+  }
+  // All-or-nothing: derive the visit structure on the candidate order and
+  // roll back wholesale if it is not shard-sequential.
+  std::vector<std::int64_t> saved_order = std::move(order_);
+  std::vector<int> saved_visits = std::move(visits_);
+  std::vector<std::int64_t> saved_starts = std::move(visit_starts_);
+  order_ = state.order;
+  if (!DeriveVisits()) {
+    order_ = std::move(saved_order);
+    visits_ = std::move(saved_visits);
+    visit_starts_ = std::move(saved_starts);
+    return false;
+  }
+  cursor_ = state.cursor;
+  fresh_epoch_ = state.fresh_epoch;
+  failed_ = false;
+  error_.clear();
+  StopPipeline();
+  return true;
+}
+
+}  // namespace data
+}  // namespace dcmt

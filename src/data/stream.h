@@ -1,0 +1,164 @@
+#ifndef DCMT_DATA_STREAM_H_
+#define DCMT_DATA_STREAM_H_
+
+// Out-of-core streaming data path (DESIGN.md §15): a StreamingDataset is a
+// shard directory opened through its manifest, and a StreamingBatcher is a
+// BatchSource that trains from it while holding at most
+// 1 (current) + prefetch_depth decoded shards in memory.
+//
+// Determinism contract: the epoch order is ShardedEpochOrder(shard rows,
+// rng) — identical to an in-RAM Batcher constructed with the same shard
+// plan and the same Rng — so the streaming and in-RAM paths emit
+// bit-identical batch sequences, and BatcherState saved from one restores
+// into the other. The prefetch thread only ever reads immutable inputs (the
+// manifest, the epoch's visit list snapshot, the stateless file system);
+// all mutable batcher state stays on the consumer thread, which is why
+// SaveState() racing an in-flight prefetch is benign (see
+// tests/tsan_stress_test.cc).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/io.h"
+#include "core/prefetch.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/shard.h"
+#include "tensor/random.h"
+
+namespace dcmt {
+namespace data {
+
+struct StreamingConfig {
+  /// nullptr = real file system; tests pass a FaultInjectingFileSystem.
+  /// Must be safe for concurrent reads if prefetch is enabled (the default
+  /// PosixFileSystem is; FaultInjectingFileSystem is NOT — use it with
+  /// prefetch_depth = 0).
+  core::FileSystem* fs = nullptr;
+};
+
+/// A shard directory opened through its manifest. Holds no row data; every
+/// access decodes from disk. ReadShard is const and thread-safe (one
+/// prefetch thread + the consumer may both call it).
+class StreamingDataset {
+ public:
+  /// Opens `dir`, validating the manifest and the existence of every listed
+  /// shard file up-front, so a missing middle shard fails here — not
+  /// mid-epoch. On failure returns false with `*error` set.
+  static bool Open(const std::string& dir, const StreamingConfig& config,
+                   StreamingDataset* out, std::string* error);
+
+  const std::string& dir() const { return dir_; }
+  const FeatureSchema& schema() const { return manifest_.schema; }
+  const ShardManifest& manifest() const { return manifest_; }
+  std::int64_t size() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  int num_shards() const { return static_cast<int>(manifest_.shards.size()); }
+  /// Per-shard row counts in shard order (the Batcher shard plan).
+  std::vector<std::int64_t> ShardRowCounts() const {
+    return manifest_.ShardRowCounts();
+  }
+  /// Prefix sums of ShardRowCounts(); size() == num_shards() + 1.
+  const std::vector<std::int64_t>& ShardRowOffsets() const { return offsets_; }
+
+  /// Decodes and validates one shard. Fail-closed; thread-safe.
+  bool ReadShard(int shard_index, std::vector<Example>* rows,
+                 std::string* error) const;
+
+  /// Decodes every shard into one in-RAM Dataset (equivalence tests, small
+  /// data). The result's examples are in global row order — shard 0's rows
+  /// first — so global indices agree between the two representations.
+  bool Materialize(Dataset* out, std::string* error) const;
+
+ private:
+  std::string dir_;
+  core::FileSystem* fs_ = nullptr;
+  ShardManifest manifest_;
+  std::vector<std::int64_t> offsets_;
+};
+
+/// BatchSource over a StreamingDataset. Epoch semantics, SaveState wire
+/// format and RestoreState validation mirror the in-RAM Batcher exactly;
+/// the additional constraint is that a restored order must be
+/// shard-sequential (which every order this class or a shard-plan Batcher
+/// produces is). `prefetch_depth` > 0 runs one background thread decoding
+/// up to that many shards ahead; 0 decodes synchronously on the consumer
+/// thread (no concurrency at all — required when fs is fault-injecting).
+class StreamingBatcher : public BatchSource {
+ public:
+  StreamingBatcher(const StreamingDataset* dataset, int batch_size, Rng* rng,
+                   int prefetch_depth = 2);
+  ~StreamingBatcher() override;
+
+  StreamingBatcher(const StreamingBatcher&) = delete;
+  StreamingBatcher& operator=(const StreamingBatcher&) = delete;
+
+  bool Next(Batch* batch) override;
+  void Rewind() override;
+  std::int64_t batches_per_epoch() const override;
+  std::int64_t size() const override { return dataset_->size(); }
+  const FeatureSchema& schema() const override { return dataset_->schema(); }
+  BatcherState SaveState() const override;
+  bool RestoreState(const BatcherState& state) override;
+
+  bool ok() const override { return !failed_; }
+  std::string error() const override { return error_; }
+
+  /// Number of shard decodes performed so far (both paths), for tests that
+  /// assert prefetch actually streams rather than re-decoding per batch.
+  std::int64_t shards_decoded() const { return shards_decoded_; }
+
+ private:
+  struct DecodedShard {
+    int shard_index = -1;
+    bool ok = false;
+    std::string error;
+    std::vector<Example> rows;
+  };
+
+  void ShuffleIfNeeded();
+  /// Derives visits_/visit_starts_ from order_; false if order_ is not
+  /// shard-sequential.
+  bool DeriveVisits();
+  void StopPipeline();
+  /// Makes current_ the decoded shard for visit `v` (consumer thread only).
+  bool EnsureVisit(std::size_t v);
+  void Fail(const std::string& message);
+
+  const StreamingDataset* dataset_;
+  int batch_size_;
+  Rng* rng_;
+  int prefetch_depth_;
+
+  // Epoch state — identical semantics to Batcher's fields of the same name.
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+  bool fresh_epoch_ = true;
+
+  // The epoch order's shard structure: visits_[v] is the v-th distinct
+  // shard, visit_starts_[v] the order_ position where its run begins
+  // (visit_starts_ has visits_.size() + 1 entries; back() == size()).
+  std::vector<int> visits_;
+  std::vector<std::int64_t> visit_starts_;
+
+  // Consumer-side decode state.
+  DecodedShard current_;
+  std::size_t current_visit_ = 0;  // valid iff current_.shard_index >= 0
+
+  // Prefetch pipeline. The worker owns a value snapshot of the visit list;
+  // the channel is the only shared object, and StopPipeline (Cancel + join)
+  // runs before the channel is destroyed.
+  std::unique_ptr<core::BoundedChannel<DecodedShard>> channel_;
+  core::WorkerThread worker_;
+  std::size_t next_pipeline_visit_ = 0;  // first visit NOT yet claimed by a pipeline
+
+  bool failed_ = false;
+  std::string error_;
+  std::int64_t shards_decoded_ = 0;
+};
+
+}  // namespace data
+}  // namespace dcmt
+
+#endif  // DCMT_DATA_STREAM_H_

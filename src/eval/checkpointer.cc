@@ -215,7 +215,7 @@ bool Checkpointer::Save(const nn::Module& module,
 
 bool Checkpointer::Restore(std::uint64_t expected_fingerprint,
                            nn::Module* module, optim::Adam* adam,
-                           data::Batcher* batcher, Rng* rng,
+                           data::BatchSource* batcher, Rng* rng,
                            TrainCheckpointState* state) const {
   // Successful restores are counted below; failures are derivable as
   // attempts − restores (there are too many distinct early-outs here for

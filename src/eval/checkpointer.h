@@ -76,9 +76,11 @@ class Checkpointer {
   /// The entire file is parsed and checksum-verified, the fingerprint is
   /// compared, and every payload is validated against the live objects
   /// *before* the first mutation — on any failure the function returns
-  /// false and module/adam/batcher/rng are all left untouched.
+  /// false and module/adam/batcher/rng are all left untouched. `batcher`
+  /// may be any BatchSource (in-RAM or streaming); its RestoreState gates
+  /// the batcher-position record.
   bool Restore(std::uint64_t expected_fingerprint, nn::Module* module,
-               optim::Adam* adam, data::Batcher* batcher, Rng* rng,
+               optim::Adam* adam, data::BatchSource* batcher, Rng* rng,
                TrainCheckpointState* state) const;
 
   /// True if a checkpoint file exists (it may still fail validation).

@@ -34,10 +34,14 @@ void RestoreParameters(models::MultiTaskModel* model,
   }
 }
 
-}  // namespace
-
-TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
-                   const TrainConfig& config) {
+/// Shared training core: everything from optimizer construction to the
+/// final checkpoint, parameterized over the batch stream. `val_split` may be
+/// null (no validation). Train() drives it with an in-RAM Batcher;
+/// TrainFromSource() with any BatchSource (streaming included).
+TrainHistory TrainLoop(models::MultiTaskModel* model,
+                       data::BatchSource* batcher, Rng* shuffle_rng,
+                       const TrainConfig& config,
+                       const data::Dataset* val_split) {
   TrainHistory history;
   const auto start = std::chrono::steady_clock::now();
 
@@ -59,23 +63,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       obs_registry.histogram("dcmt_train_grad_norm", 32, 0.0, 16.0);
   std::int64_t rows_trained = 0;
 
-  // Optional validation split from the tail (chronological-style holdout).
-  data::Dataset fit_split = train;
-  data::Dataset val_split;
-  const bool has_validation =
-      config.validation_fraction > 0.0 && config.validation_fraction < 1.0;
-  if (has_validation) {
-    const std::int64_t head =
-        train.size() -
-        static_cast<std::int64_t>(static_cast<double>(train.size()) *
-                                  config.validation_fraction);
-    auto [fit, val] = train.SplitAt(head);
-    fit_split = std::move(fit);
-    val_split = std::move(val);
-  }
-
-  Rng shuffle_rng(config.seed);
-  data::Batcher batcher(&fit_split, config.batch_size, &shuffle_rng);
+  const bool has_validation = val_split != nullptr && !val_split->empty();
   optim::Adam adam(model->parameters(), config.learning_rate, 0.9f, 0.999f,
                    1e-8f, config.weight_decay);
 
@@ -93,12 +81,12 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
   std::int64_t resumed_batches = 0;
   bool resume_mid_epoch = false;
   if (!config.checkpoint_dir.empty()) {
-    fingerprint = FingerprintTrainSetup(*model, config, fit_split.size());
+    fingerprint = FingerprintTrainSetup(*model, config, batcher->size());
     checkpointer = std::make_unique<Checkpointer>(config.checkpoint_dir, config.fs);
     if (config.resume) {
       TrainCheckpointState saved;
-      if (checkpointer->Restore(fingerprint, model, &adam, &batcher,
-                                &shuffle_rng, &saved) &&
+      if (checkpointer->Restore(fingerprint, model, &adam, batcher,
+                                shuffle_rng, &saved) &&
           saved.epoch <= config.epochs) {
         start_epoch = saved.epoch;
         resumed_loss_sum = saved.loss_sum;
@@ -146,8 +134,8 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     state.epochs_since_best = epochs_since_best;
     state.best_snapshot = best_snapshot;
     state.adam = adam.ExportState();
-    state.shuffle_rng = shuffle_rng.state();
-    state.batcher = batcher.SaveState();
+    state.shuffle_rng = shuffle_rng->state();
+    state.batcher = batcher->SaveState();
     if (!checkpointer->Save(*model, state) && config.verbose) {
       std::fprintf(stderr, "[train %s] checkpoint save to %s failed\n",
                    model->name().c_str(), checkpointer->path().c_str());
@@ -173,7 +161,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       resume_mid_epoch = false;
     }
     data::Batch batch;
-    while (batcher.Next(&batch)) {
+    while (batcher->Next(&batch)) {
       adam.ZeroGrad();
       models::Predictions preds = model->Forward(batch);
       Tensor loss = model->Loss(batch, preds);
@@ -203,6 +191,7 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
       loss_sum += step_loss;
       ++batches;
       ++history.steps;
+      if (config.record_step_loss) history.step_loss.push_back(step_loss);
       obs_steps.Inc();
       obs_rows.Inc(batch.size);
       rows_trained += batch.size;
@@ -220,6 +209,14 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
         return history;
       }
     }
+    if (!batcher->ok()) {
+      // A streaming source that fails mid-epoch (shard corruption, I/O
+      // error) must not let the run finish on silently truncated data:
+      // fail closed, loudly.
+      std::fprintf(stderr, "[train %s] batch source failed: %s\n",
+                   model->name().c_str(), batcher->error().c_str());
+      std::abort();
+    }
     const double epoch_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
     history.epoch_loss.push_back(epoch_loss);
     history.final_epoch = epoch;
@@ -232,10 +229,10 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
     }
 
     bool stop_early = false;
-    if (has_validation && !val_split.empty()) {
+    if (has_validation) {
       obs::TraceSpan val_span("train/validate", "epoch", epoch);
       const auto eval_start = std::chrono::steady_clock::now();
-      const EvalResult val = Evaluate(model, val_split);
+      const EvalResult val = Evaluate(model, *val_split);
       eval_seconds += std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - eval_start)
                           .count();
@@ -298,6 +295,42 @@ TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
                             history.seconds);
   }
   return history;
+}
+
+}  // namespace
+
+TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
+                   const TrainConfig& config) {
+  // Optional validation split from the tail (chronological-style holdout).
+  data::Dataset fit_split = train;
+  data::Dataset val_split;
+  if (config.validation_fraction > 0.0 && config.validation_fraction < 1.0) {
+    const std::int64_t head =
+        train.size() -
+        static_cast<std::int64_t>(static_cast<double>(train.size()) *
+                                  config.validation_fraction);
+    auto [fit, val] = train.SplitAt(head);
+    fit_split = std::move(fit);
+    val_split = std::move(val);
+  }
+
+  Rng shuffle_rng(config.seed);
+  data::Batcher batcher(&fit_split, config.batch_size, &shuffle_rng);
+  return TrainLoop(model, &batcher, &shuffle_rng, config,
+                   val_split.empty() ? nullptr : &val_split);
+}
+
+TrainHistory TrainFromSource(models::MultiTaskModel* model,
+                             data::BatchSource* source, Rng* shuffle_rng,
+                             const TrainConfig& config) {
+  if (config.validation_fraction > 0.0) {
+    std::fprintf(stderr,
+                 "[train %s] TrainFromSource does not support a validation "
+                 "split (validation_fraction must be 0)\n",
+                 model->name().c_str());
+    std::abort();
+  }
+  return TrainLoop(model, source, shuffle_rng, config, nullptr);
 }
 
 }  // namespace eval

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "data/batcher.h"
 #include "data/dataset.h"
 #include "models/multi_task_model.h"
+#include "tensor/random.h"
 
 namespace dcmt {
 namespace core {
@@ -61,6 +63,12 @@ struct TrainConfig {
   /// File-system seam for checkpoint I/O (null = the real file system);
   /// tests inject a core::FaultInjectingFileSystem here.
   core::FileSystem* fs = nullptr;
+
+  /// Record every optimizer step's loss in TrainHistory::step_loss. Drives
+  /// the streaming-vs-in-RAM bit-identical loss-trace proof (tier-1 stream
+  /// stage); off by default because a full-scale run would log millions of
+  /// doubles. Per-process: a resumed run records only its own steps.
+  bool record_step_loss = false;
 };
 
 /// Per-epoch training record.
@@ -72,6 +80,8 @@ struct TrainHistory {
   /// stopping restored an earlier one). 0-based; -1 if no epochs ran.
   int final_epoch = -1;
   std::int64_t steps = 0;
+  /// Per-step batch losses (only with TrainConfig::record_step_loss).
+  std::vector<double> step_loss;
   /// Training wall-clock, excluding time spent in validation Evaluate passes
   /// (so the number reflects train throughput honestly).
   double seconds = 0.0;
@@ -82,6 +92,20 @@ struct TrainHistory {
 /// carved off the tail of `train` before any shuffling.
 TrainHistory Train(models::MultiTaskModel* model, const data::Dataset& train,
                    const TrainConfig& config);
+
+/// Trains `model` from an arbitrary BatchSource — typically a
+/// data::StreamingBatcher over an out-of-core shard directory, or an in-RAM
+/// Batcher built with the matching shard plan for equivalence runs. The
+/// source must already be seeded; `shuffle_rng` is the Rng driving its
+/// per-epoch shuffles (checkpointed alongside, exactly as in Train). The
+/// setup fingerprint uses source->size(), so a streaming run and an in-RAM
+/// run over the same shards share checkpoints. validation_fraction must be
+/// 0 — a streaming source has no materialized tail to hold out. If the
+/// source fails mid-epoch (shard corruption, I/O error) training aborts
+/// loudly rather than finishing an epoch on silently truncated data.
+TrainHistory TrainFromSource(models::MultiTaskModel* model,
+                             data::BatchSource* source, Rng* shuffle_rng,
+                             const TrainConfig& config);
 
 }  // namespace eval
 }  // namespace dcmt

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/io.h"
+#include "core/record.h"
 #include "nn/module.h"
 
 namespace dcmt {
@@ -46,70 +47,15 @@ enum RecordType : std::uint32_t {
   kBestSnapshot = 6,  // best-epoch parameter snapshot (early stopping)
 };
 
-/// Builds a record payload from typed fields (little-endian PODs, u32-length
-/// strings, u64-length vectors) into an in-memory buffer.
-class PayloadWriter {
- public:
-  void U8(std::uint8_t v);
-  void U32(std::uint32_t v);
-  void I32(std::int32_t v);
-  void U64(std::uint64_t v);
-  void I64(std::int64_t v);
-  void F32(float v);
-  void F64(double v);
-  void Str(std::string_view s);                   // u32 length + bytes
-  void F32Vec(const std::vector<float>& v);       // u64 count + data
-  void F32Array(const float* data, std::size_t n);  // same layout as F32Vec
-  void F64Vec(const std::vector<double>& v);      // u64 count + data
-  void I64Vec(const std::vector<std::int64_t>& v);  // u64 count + data
-
-  const std::string& data() const { return buf_; }
-
- private:
-  void Raw(const void* p, std::size_t n);
-  std::string buf_;
-};
-
-/// Bounds-checked mirror of PayloadWriter. Every getter returns false (and
-/// poisons the reader) on overrun; vector getters additionally reject counts
-/// larger than the remaining payload, so corrupt lengths cannot trigger huge
-/// allocations. Callers must end with AtEnd() to reject trailing bytes.
-class PayloadReader {
- public:
-  explicit PayloadReader(std::string_view payload) : rest_(payload) {}
-
-  bool U8(std::uint8_t* v);
-  bool U32(std::uint32_t* v);
-  bool I32(std::int32_t* v);
-  bool U64(std::uint64_t* v);
-  bool I64(std::int64_t* v);
-  bool F32(float* v);
-  bool F64(double* v);
-  bool Str(std::string* s, std::size_t max_len = 4096);
-  bool F32Vec(std::vector<float>* v);
-  bool F64Vec(std::vector<double>* v);
-  bool I64Vec(std::vector<std::int64_t>* v);
-
-  bool ok() const { return ok_; }
-  bool AtEnd() const { return ok_ && rest_.empty(); }
-
- private:
-  bool Raw(void* p, std::size_t n);
-  template <typename T>
-  bool Vec(std::vector<T>* v);
-
-  std::string_view rest_;
-  bool ok_ = true;
-};
+/// The container primitives live in core::record so other on-disk formats
+/// (shard files, shard manifests — src/data/shard) share one framing
+/// implementation; these aliases keep the historical nn:: spellings working.
+using PayloadWriter = core::PayloadWriter;
+using PayloadReader = core::PayloadReader;
+using RecordView = core::RecordView;
 
 /// Appends one framed record (type, size, payload, CRC) to `*out`.
 void AppendRecord(std::string* out, RecordType type, std::string_view payload);
-
-/// One parsed record; `payload` points into the parsed file buffer.
-struct RecordView {
-  std::uint32_t type = kEnd;
-  std::string_view payload;
-};
 
 /// Validates an entire v2 checkpoint image — magic, version, every record
 /// CRC, the kEnd terminator, and the absence of trailing bytes — and returns

@@ -1,0 +1,12 @@
+// Fixture: seeded `stream-io` violations — the <fstream> include, the
+// ofstream token, and the fopen call should each be flagged when linted as
+// part of the sharded data path (src/data/shard* / src/data/stream*).
+#include <cstdio>
+#include <fstream>
+
+void WriteDirectly(const char* path) {
+  std::ofstream out(path);
+  out << "bytes";
+  FILE* f = fopen(path, "rb");
+  if (f != nullptr) fclose(f);
+}

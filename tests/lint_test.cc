@@ -146,6 +146,26 @@ TEST(LintTest, RegisteredTestPasses) {
   EXPECT_EQ(CountRule(diags, "test-registration"), 0);
 }
 
+TEST(LintTest, StreamIoFlaggedInShardedDataPath) {
+  const std::string content = ReadFixture("stream_io.cc");
+  // The <fstream> include, the ofstream token, and fopen/fclose each fire
+  // under both stream-io path prefixes.
+  const auto shard = LintFileContent("src/data/shard_io.cc", content, "");
+  EXPECT_GE(CountRule(shard, "stream-io"), 4);
+  const auto stream = LintFileContent("src/data/stream.cc", content, "");
+  EXPECT_GE(CountRule(stream, "stream-io"), 4);
+}
+
+TEST(LintTest, StreamIoSanctionedOutsideShardedDataPath) {
+  // The same content is clean elsewhere — data/csv.cc legitimately uses
+  // <fstream>, and so do the tools.
+  const std::string content = ReadFixture("stream_io.cc");
+  const auto diags = LintFileContent("src/data/csv.cc", content, "");
+  EXPECT_EQ(CountRule(diags, "stream-io"), 0);
+  const auto model_diags = LintFileContent("src/models/io_helper.cc", content, "");
+  EXPECT_EQ(CountRule(model_diags, "stream-io"), 0);
+}
+
 TEST(LintTest, WaiverCoversOnlyItsOwnAndNextLine) {
   const auto diags = LintFileContent("src/models/waived.cc",
                                      ReadFixture("waived.cc"), "");

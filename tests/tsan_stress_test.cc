@@ -17,16 +17,22 @@
 // dcmt-lint: allow(concurrency) — futures carry engine scores cross-thread.
 #include <future>
 #include <memory>
+#include <string>
 // dcmt-lint: allow(concurrency) — real submitter threads for the engine.
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "core/dcmt.h"
+#include "core/io.h"
 #include "core/thread_pool.h"
 #include "data/generator.h"
 #include "data/profiles.h"
+#include "data/shard.h"
+#include "data/stream.h"
 #include "eval/experiment.h"
 #include "eval/trainer.h"
 #include "serve/engine.h"
@@ -186,6 +192,98 @@ TEST(TsanStress, ConcurrentExperimentRepeats) {
   const eval::ExperimentResult result =
       eval::RunOfflineExperiment("dcmt", train, test, mc, tc, /*repeats=*/4);
   EXPECT_EQ(result.runs.size(), 4u);
+}
+
+// --- Streaming prefetch thread (DESIGN.md §15). -----------------------------
+
+/// Shard directory shared by the streaming stress tests (written once; all
+/// reads through it are const and thread-safe by contract — TSan verifies).
+struct StreamStressFixture {
+  StreamStressFixture() {
+    data::DatasetProfile profile = data::AeEsProfile();
+    profile.train_exposures = 64;
+    profile.test_exposures = 1;
+    profile.seed = 83;
+    // Per-process directory: parallel ctest invocations of this suite's
+    // cases each regenerate the fixture and must not race on shared files.
+    dir = ::testing::TempDir() + "/tsan_stream_shards_" +
+          std::to_string(static_cast<long long>(::getpid()));
+    core::FileSystem::Default()->CreateDirectories(dir);
+    data::SyntheticLogGenerator generator(profile);
+    data::ShardWriterConfig config;
+    config.rows_per_shard = 96;  // 640 rows -> 7 shards, last one ragged
+    std::string error;
+    ok = generator.GenerateToShards(dir, 640, /*stream=*/1, config, &error);
+    if (ok) ok = data::StreamingDataset::Open(dir, {}, &dataset, &error);
+  }
+  std::string dir;
+  data::StreamingDataset dataset;
+  bool ok = false;
+};
+
+StreamStressFixture& StreamFixture() {
+  static StreamStressFixture fixture;
+  return fixture;
+}
+
+TEST(TsanStress, StreamPrefetchQueueChurn) {
+  // Tiny shards and a deep pipeline: the bounded channel fills, blocks the
+  // producer, drains, and refills many times per epoch — every Push/Pop
+  // edge and the epoch-end Close/restart transition get exercised.
+  StreamStressFixture& fixture = StreamFixture();
+  ASSERT_TRUE(fixture.ok);
+  for (int round = 0; round < 6; ++round) {
+    Rng rng(static_cast<std::uint64_t>(round) + 1);
+    data::StreamingBatcher batcher(&fixture.dataset, 32, &rng,
+                                   /*prefetch_depth=*/3);
+    std::int64_t rows = 0;
+    data::Batch batch;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      while (batcher.Next(&batch)) rows += batch.size;
+    }
+    ASSERT_TRUE(batcher.ok()) << batcher.error();
+    EXPECT_EQ(rows, 2 * fixture.dataset.size());
+  }
+}
+
+TEST(TsanStress, StreamEarlyShutdownMidPrefetch) {
+  // Destroy the batcher while the worker is still decoding ahead: the
+  // Cancel + join teardown must leave no thread touching a dead channel.
+  StreamStressFixture& fixture = StreamFixture();
+  ASSERT_TRUE(fixture.ok);
+  for (int round = 0; round < 12; ++round) {
+    Rng rng(static_cast<std::uint64_t>(round) + 100);
+    data::StreamingBatcher batcher(&fixture.dataset, 32, &rng,
+                                   /*prefetch_depth=*/4);
+    data::Batch batch;
+    // Consume 0..3 batches, then drop it mid-flight.
+    for (int i = 0; i < round % 4; ++i) {
+      if (!batcher.Next(&batch)) break;
+    }
+    ASSERT_TRUE(batcher.ok()) << batcher.error();
+  }
+}
+
+TEST(TsanStress, StreamPrefetchRacesCheckpointSave) {
+  // SaveState() reads only consumer-owned fields, so calling it while the
+  // prefetch thread is decoding ahead is benign — TSan proves the claim.
+  StreamStressFixture& fixture = StreamFixture();
+  ASSERT_TRUE(fixture.ok);
+  Rng rng(7);
+  data::StreamingBatcher batcher(&fixture.dataset, 32, &rng,
+                                 /*prefetch_depth=*/4);
+  data::Batch batch;
+  std::int64_t saves = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    while (batcher.Next(&batch)) {
+      const data::BatcherState state = batcher.SaveState();
+      ASSERT_EQ(static_cast<std::int64_t>(state.order.size()),
+                fixture.dataset.size());
+      ++saves;
+    }
+  }
+  ASSERT_TRUE(batcher.ok()) << batcher.error();
+  EXPECT_EQ(saves, 3 * batcher.batches_per_epoch());
 }
 
 // --- serve::Engine under genuine concurrency (DESIGN.md §13). --------------

@@ -4,10 +4,21 @@
 //
 // Subcommands:
 //   dcmt_cli generate --profile=ae-es --split=train --out=train.csv
+//   dcmt_cli gen-shards --profile=ae-es --split=train --out-dir=shards/
+//                       [--exposures=10000000 --shard-rows=262144]
+//       streams the synthetic log straight to a sharded on-disk dataset
+//       (DESIGN.md §15) without ever materializing it: RSS stays bounded by
+//       one shard regardless of --exposures.
 //   dcmt_cli train    --model=dcmt --train=train.csv --ckpt=dcmt.ckpt
 //                     [--epochs=4 --lr=0.01 --lambda1=1.0 --val-fraction=0.1]
 //                     [--checkpoint-dir=ckpts --checkpoint-every=500 --resume=1]
 //                     [--metrics-out=metrics.prom --trace-out=trace.jsonl]
+//       or, out-of-core: --train-shards=shards/ [--stream=1 --prefetch-depth=2]
+//       trains from a shard directory through a StreamingBatcher
+//       (--stream=0 materializes the shards but keeps the identical
+//       shard-planned batch order — the equivalence baseline).
+//       [--steps=N] halts after N optimizer steps; [--loss-trace-out=f]
+//       writes one per-step loss per line (%.17g) for bit-exactness diffs.
 //   dcmt_cli evaluate --model=dcmt --ckpt=dcmt.ckpt --test=test.csv
 //                     [--metrics-out=- --trace-out=trace.jsonl]
 //   dcmt_cli predict  --model=dcmt --ckpt=dcmt.ckpt --input=test.csv
@@ -32,7 +43,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/obs.h"
 #include "core/registry.h"
@@ -40,6 +53,8 @@
 #include "data/batcher.h"
 #include "data/csv.h"
 #include "data/profiles.h"
+#include "data/shard.h"
+#include "data/stream.h"
 #include "eval/evaluator.h"
 #include "eval/flags.h"
 #include "eval/trainer.h"
@@ -57,7 +72,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dcmt_cli "
-      "<generate|train|evaluate|predict|check-graph|serve-bench> [--flags]\n"
+      "<generate|gen-shards|train|evaluate|predict|check-graph|serve-bench>"
+      " [--flags]\n"
       "run a subcommand with a bogus flag to list its options\n");
   return 2;
 }
@@ -125,10 +141,76 @@ int Generate(int argc, char** argv) {
   return 0;
 }
 
+int GenShardsCmd(int argc, char** argv) {
+  const eval::Flags flags(argc, argv,
+                          {{"profile", "ae-es"},
+                           {"split", "train"},
+                           {"exposures", "0"},
+                           {"shard-rows", "262144"},
+                           {"out-dir", ""}});
+  if (flags.Get("out-dir").empty()) {
+    std::fprintf(stderr, "gen-shards: --out-dir is required\n");
+    return 2;
+  }
+  data::SyntheticLogGenerator generator(data::ProfileByName(flags.Get("profile")));
+  const bool test_split = flags.Get("split") == "test";
+  // Stream ids match GenerateTrain()/GenerateTest(), so a shard directory
+  // holds exactly the rows the in-RAM split would — bit for bit.
+  const std::uint64_t stream = test_split ? 2 : 1;
+  std::int64_t count = flags.GetInt("exposures");
+  if (count <= 0) {
+    count = test_split ? generator.profile().test_exposures
+                       : generator.profile().train_exposures;
+  }
+  data::ShardWriterConfig config;
+  config.rows_per_shard = std::max(1, flags.GetInt("shard-rows"));
+  std::string error;
+  if (!generator.GenerateToShards(flags.Get("out-dir"), count, stream, config,
+                                  &error)) {
+    std::fprintf(stderr, "gen-shards: %s\n", error.c_str());
+    return 1;
+  }
+  data::ShardManifest manifest;
+  if (!data::ReadManifest(nullptr, flags.Get("out-dir"), &manifest, &error)) {
+    std::fprintf(stderr, "gen-shards: written directory fails validation: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::int64_t clicks = 0;
+  std::int64_t conversions = 0;
+  for (const data::ShardInfo& shard : manifest.shards) {
+    clicks += shard.clicks;
+    conversions += shard.conversions;
+  }
+  std::printf(
+      "wrote %lld exposures (%lld clicks, %lld conversions) as %zu shards "
+      "to %s\n",
+      static_cast<long long>(manifest.total_rows()),
+      static_cast<long long>(clicks), static_cast<long long>(conversions),
+      manifest.shards.size(), flags.Get("out-dir").c_str());
+  return 0;
+}
+
+/// Writes one "%.17g" loss per line — enough digits to round-trip a double,
+/// so diffing two trace files proves (or refutes) bit-identical training.
+bool WriteLossTrace(const std::string& path, const std::vector<double>& losses) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const double loss : losses) {
+    char line[48];
+    std::snprintf(line, sizeof(line), "%.17g\n", loss);
+    out << line;
+  }
+  return out.good();
+}
+
 int TrainCmd(int argc, char** argv) {
   const eval::Flags flags(argc, argv,
                           {{"model", "dcmt"},
                            {"train", ""},
+                           {"train-shards", ""},
+                           {"stream", "1"},
+                           {"prefetch-depth", "2"},
                            {"ckpt", ""},
                            {"epochs", "4"},
                            {"batch", "1024"},
@@ -140,24 +222,23 @@ int TrainCmd(int argc, char** argv) {
                            {"patience", "0"},
                            {"seed", "7"},
                            {"threads", "0"},
+                           {"steps", "0"},
+                           {"loss-trace-out", ""},
                            {"checkpoint-dir", ""},
                            {"checkpoint-every", "0"},
                            {"resume", "0"},
                            {"metrics-out", ""},
                            {"trace-out", ""}});
-  if (flags.Get("train").empty() || flags.Get("ckpt").empty()) {
-    std::fprintf(stderr, "train: --train and --ckpt are required\n");
+  const bool from_shards = !flags.Get("train-shards").empty();
+  if (flags.Get("ckpt").empty() ||
+      from_shards == !flags.Get("train").empty()) {
+    std::fprintf(stderr,
+                 "train: --ckpt and exactly one of --train / --train-shards "
+                 "are required\n");
     return 2;
   }
   ApplyThreadsFlag(flags);
   ApplyObsFlags(flags);
-  data::Dataset train;
-  if (!data::ReadCsv(flags.Get("train"), &train)) {
-    std::fprintf(stderr, "train: cannot read %s\n", flags.Get("train").c_str());
-    return 1;
-  }
-  auto model =
-      core::CreateModel(flags.Get("model"), train.schema(), ModelConfigFromFlags(flags));
 
   eval::TrainConfig config;
   config.epochs = flags.GetInt("epochs");
@@ -167,6 +248,8 @@ int TrainCmd(int argc, char** argv) {
   config.validation_fraction = flags.GetDouble("val-fraction");
   config.early_stopping_patience = flags.GetInt("patience");
   config.verbose = true;
+  config.halt_after_steps = flags.GetInt("steps");
+  config.record_step_loss = !flags.Get("loss-trace-out").empty();
   // Crash-safe training state: with --checkpoint-dir the trainer rewrites
   // <dir>/train_state.ckpt atomically as it goes, and --resume=1 picks a run
   // back up bit-exactly after a crash (at the same fixed thread count).
@@ -177,11 +260,66 @@ int TrainCmd(int argc, char** argv) {
     std::fprintf(stderr, "train: --resume requires --checkpoint-dir\n");
     return 2;
   }
-  const eval::TrainHistory history = eval::Train(model.get(), train, config);
+
+  std::unique_ptr<models::MultiTaskModel> model;
+  eval::TrainHistory history;
+  if (from_shards) {
+    // Out-of-core path (DESIGN.md §15): batches stream from the shard
+    // directory; only the current + prefetched shards are ever decoded.
+    if (config.validation_fraction > 0.0) {
+      std::fprintf(stderr,
+                   "train: --val-fraction requires an in-RAM --train set "
+                   "(a shard stream has no tail to hold out)\n");
+      return 2;
+    }
+    data::StreamingDataset dataset;
+    std::string error;
+    if (!data::StreamingDataset::Open(flags.Get("train-shards"), {}, &dataset,
+                                      &error)) {
+      std::fprintf(stderr, "train: %s\n", error.c_str());
+      return 1;
+    }
+    model = core::CreateModel(flags.Get("model"), dataset.schema(),
+                              ModelConfigFromFlags(flags));
+    Rng shuffle_rng(config.seed);
+    if (flags.GetInt("stream") != 0) {
+      data::StreamingBatcher batcher(&dataset, config.batch_size, &shuffle_rng,
+                                     flags.GetInt("prefetch-depth"));
+      history = eval::TrainFromSource(model.get(), &batcher, &shuffle_rng,
+                                      config);
+    } else {
+      // Equivalence baseline: materialize the shards but keep the identical
+      // shard-planned epoch order, so the loss trace must match --stream=1.
+      data::Dataset materialized;
+      if (!dataset.Materialize(&materialized, &error)) {
+        std::fprintf(stderr, "train: %s\n", error.c_str());
+        return 1;
+      }
+      data::Batcher batcher(&materialized, config.batch_size, &shuffle_rng,
+                            dataset.ShardRowCounts());
+      history = eval::TrainFromSource(model.get(), &batcher, &shuffle_rng,
+                                      config);
+    }
+  } else {
+    data::Dataset train;
+    if (!data::ReadCsv(flags.Get("train"), &train)) {
+      std::fprintf(stderr, "train: cannot read %s\n", flags.Get("train").c_str());
+      return 1;
+    }
+    model = core::CreateModel(flags.Get("model"), train.schema(),
+                              ModelConfigFromFlags(flags));
+    history = eval::Train(model.get(), train, config);
+  }
 
   if (!nn::SaveParameters(*model, flags.Get("ckpt"))) {
     std::fprintf(stderr, "train: cannot write checkpoint %s\n",
                  flags.Get("ckpt").c_str());
+    return 1;
+  }
+  if (config.record_step_loss &&
+      !WriteLossTrace(flags.Get("loss-trace-out"), history.step_loss)) {
+    std::fprintf(stderr, "train: cannot write loss trace %s\n",
+                 flags.Get("loss-trace-out").c_str());
     return 1;
   }
   std::printf("trained %s for %lld steps (%.1fs, final epoch %d); checkpoint %s\n",
@@ -442,6 +580,9 @@ int main(int argc, char** argv) {
   // Shift argv so subcommands parse only their own flags.
   argv[1] = argv[0];
   if (std::strcmp(cmd, "generate") == 0) return Generate(argc - 1, argv + 1);
+  if (std::strcmp(cmd, "gen-shards") == 0) {
+    return GenShardsCmd(argc - 1, argv + 1);
+  }
   if (std::strcmp(cmd, "train") == 0) return TrainCmd(argc - 1, argv + 1);
   if (std::strcmp(cmd, "evaluate") == 0) return EvaluateCmd(argc - 1, argv + 1);
   if (std::strcmp(cmd, "predict") == 0) return PredictCmd(argc - 1, argv + 1);

@@ -291,6 +291,14 @@ class Linter {
     return StartsWith(path_, "src/core/") || StartsWith(path_, "src/serve/");
   }
 
+  // The sharded streaming data path: every byte it reads or writes must go
+  // through core::FileSystem, or the fault-injection suite stops covering
+  // the code production actually runs.
+  bool InStreamIoSite() const {
+    return StartsWith(path_, "src/data/shard") ||
+           StartsWith(path_, "src/data/stream");
+  }
+
   void CheckIncludes() {
     const bool sanctioned = InConcurrencySite();
     static const std::set<std::string> kConcurrencyHeaders = {
@@ -303,6 +311,12 @@ class Linter {
                "include of " + header +
                    " outside src/core/ or src/serve/ — use core::ThreadPool "
                    "or serve::Engine, the sanctioned concurrency sites");
+      }
+      if (InStreamIoSite() && header == "<fstream>") {
+        Report("stream-io", line,
+               "include of <fstream> in the sharded data path — all I/O "
+               "must flow through core::FileSystem so fault injection "
+               "covers it");
       }
       auto [it, inserted] = first_seen.emplace(header, line);
       if (!inserted) {
@@ -349,9 +363,22 @@ class Linter {
     static const std::set<std::string> kTapeMutators = {
         "Backward", "SetBackwardFn", "backward_fn", "EnsureGrad", "ZeroGrad",
         "AccumulateGrad"};
+    const bool stream_io_site = InStreamIoSite();
+    // Direct-I/O entry points forbidden in the sharded data path (the
+    // fault-injection seam is core::FileSystem; anything bypassing it is
+    // untestable against torn writes and corruption).
+    static const std::set<std::string> kDirectIo = {
+        "fopen", "fread", "fwrite", "fclose", "ifstream", "ofstream",
+        "fstream", "mmap"};
     const std::vector<Token>& toks = scan_.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
       const Token& t = toks[i];
+      if (stream_io_site && kDirectIo.count(t.text) > 0) {
+        Report("stream-io", t.line,
+               "'" + t.text +
+                   "' in the sharded data path — route I/O through "
+                   "core::FileSystem so the fault-injection tests cover it");
+      }
       // std::<concurrency-primitive> outside the sanctioned sites.
       if (!sanctioned && t.text == "std") {
         const Token* colons = Next(i);

@@ -36,6 +36,12 @@
 //   test-registration every tests/*_test.cc is registered via
 //                     dcmt_add_test() in tests/CMakeLists.txt, so no suite
 //                     silently falls out of ctest.
+//   stream-io         direct file I/O (fopen/fread/fwrite/fclose, the
+//                     <fstream> streams, mmap) under src/data/shard* or
+//                     src/data/stream* — the sharded data path must do all
+//                     I/O through core::FileSystem so the fault-injection
+//                     tests (torn writes, CRC flips, truncation) exercise
+//                     the exact code paths production runs.
 //
 // Waiver syntax (same line or the line directly above the finding):
 //   // dcmt-lint: allow(rule[,rule...]) <justification>

@@ -129,6 +129,44 @@ if [[ "${DCMT_SKIP_OBS:-0}" != "1" ]]; then
   echo "obs determinism OK"
 fi
 
+# Streaming data path (DESIGN.md §15): prove out-of-core training end to end
+# through the CLI — generate a sharded dataset, train 50 steps through the
+# StreamingBatcher and again through the materialized in-RAM path with the
+# same shard plan, and require the per-step loss traces to be byte-identical.
+# The stream_test suite (shard codec, fault injection, fuzzer) also reruns
+# under ASan/UBSan since it is the repo's newest raw-byte parsing surface.
+# Skippable with DCMT_SKIP_STREAM=1.
+if [[ "${DCMT_SKIP_STREAM:-0}" != "1" ]]; then
+  STREAM_DIR="$BUILD_DIR/stream_equivalence"
+  rm -rf "$STREAM_DIR"
+  mkdir -p "$STREAM_DIR"
+  "$BUILD_DIR"/tools/dcmt_cli gen-shards --profile=ae-nl \
+    --exposures=20000 --shard-rows=4096 --out-dir="$STREAM_DIR/shards" >/dev/null
+  for mode in 1 0; do
+    "$BUILD_DIR"/tools/dcmt_cli train --model=dcmt \
+      --train-shards="$STREAM_DIR/shards" --stream="$mode" \
+      --steps=50 --epochs=3 --threads=2 \
+      --ckpt="$STREAM_DIR/model$mode.bin" \
+      --loss-trace-out="$STREAM_DIR/trace$mode.txt" >/dev/null
+  done
+  diff -u "$STREAM_DIR/trace1.txt" "$STREAM_DIR/trace0.txt" \
+    || { echo "stream equivalence FAILED: loss traces differ"; exit 1; }
+  # Empty traces would also diff clean; demand the full 50 steps.
+  [[ "$(wc -l < "$STREAM_DIR/trace1.txt")" == "50" ]] \
+    || { echo "stream equivalence FAILED: expected 50 recorded steps"; exit 1; }
+  cmp "$STREAM_DIR/model1.bin" "$STREAM_DIR/model0.bin" \
+    || { echo "stream equivalence FAILED: checkpoints differ"; exit 1; }
+  if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
+    SAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$SAN_DIR" -S . \
+      -DDCMT_SANITIZE=address,undefined \
+      -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+    cmake --build "$SAN_DIR" -j "$JOBS" --target stream_test
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" -R 'StreamTest'
+  fi
+  echo "stream stage OK"
+fi
+
 # Interleaved repetitions here too: with the SIMD kernels a tower-sized
 # matmul is a single inline chunk at every thread count, so the 1/2/4-thread
 # variants run identical code and any sequential-order spread is turbo /
@@ -157,9 +195,16 @@ fi
   --benchmark_repetitions=3 \
   --benchmark_out="$BUILD_DIR"/bench_serve_raw.json \
   --benchmark_out_format=json
+# Streaming data path (DESIGN.md §15): shard encode/decode MB/s and the
+# prefetch-vs-serial epoch times (their ratio is the decode/assembly overlap
+# the prefetch thread buys).
+"$BUILD_DIR"/bench/bench_stream \
+  --benchmark_out="$BUILD_DIR"/bench_stream_raw.json \
+  --benchmark_out_format=json
 "$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json \
   "$BUILD_DIR"/bench_kernels_raw.json \
   "$BUILD_DIR"/bench_obs_raw.json "$BUILD_DIR"/bench_serve_raw.json \
+  "$BUILD_DIR"/bench_stream_raw.json \
   BENCH_engine.json
 
 echo "tier-1 OK; perf trajectory written to BENCH_engine.json"
