@@ -72,6 +72,15 @@ class BoundedChannel {
 
   /// Immediate shutdown from the consumer: queued items are discarded and
   /// both sides unblock with `false`.
+  ///
+  /// Wakeup contract (relied on by StreamingBatcher's destructor, covered by
+  /// PrefetchTest.CancelWakesProducerBlockedOnFullChannel and the TSan stress
+  /// suite): `cancelled_` is only ever written under `mu_`, and both notify
+  /// calls happen while the flag is already visible, so a producer blocked in
+  /// Push on a full channel — or a consumer blocked in Pop on an empty one —
+  /// re-evaluates its predicate after Cancel() and returns false; neither
+  /// side can re-block afterwards, making a subsequent WorkerThread join
+  /// deadlock-free.
   void Cancel() {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;

@@ -27,9 +27,31 @@ constexpr double kLatencyHiSeconds = 1.0;
 
 }  // namespace
 
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejectedShutdown:
+      return "rejected_shutdown";
+    case ServeStatus::kRejectedOverload:
+      return "rejected_overload";
+  }
+  return "unknown";
+}
+
 Engine::Engine(const FrozenModel* model, EngineConfig config)
-    : model_(model), config_(config) {
-  if (model_ == nullptr) Fatal("Engine requires a FrozenModel");
+    : fixed_source_(model), source_(&fixed_source_), config_(config) {
+  if (model == nullptr) Fatal("Engine requires a FrozenModel");
+  Start();
+}
+
+Engine::Engine(ModelSource* source, EngineConfig config)
+    : fixed_source_(nullptr), source_(source), config_(config) {
+  if (source == nullptr) Fatal("Engine requires a ModelSource");
+  Start();
+}
+
+void Engine::Start() {
   if (config_.max_batch < 1 || config_.queue_capacity < 1 ||
       config_.max_wait_micros < 0) {
     Fatal("EngineConfig: max_batch/queue_capacity must be >= 1, max_wait >= 0");
@@ -37,6 +59,7 @@ Engine::Engine(const FrozenModel* model, EngineConfig config)
   obs::Registry& registry = obs::Registry::Global();
   obs_requests_ = registry.counter("dcmt_serve_requests_total");
   obs_batches_ = registry.counter("dcmt_serve_batches_total");
+  obs_rejected_ = registry.counter("dcmt_serve_rejected_total");
   obs_queue_depth_ = registry.histogram("dcmt_serve_queue_depth",
                                         kQueueDepthBins, 0.0, kQueueDepthHi);
   obs_batch_size_ = registry.histogram("dcmt_serve_batch_size", kBatchSizeBins,
@@ -50,21 +73,84 @@ Engine::Engine(const FrozenModel* model, EngineConfig config)
 
 Engine::~Engine() { Shutdown(); }
 
+std::future<Score> Engine::RejectedFuture(ServeStatus status) {
+  std::promise<Score> promise;
+  std::future<Score> future = promise.get_future();
+  Score score;
+  score.status = status;
+  promise.set_value(score);
+  obs_rejected_.Inc();
+  return future;
+}
+
 std::future<Score> Engine::Submit(data::Example example) {
   std::promise<Score> promise;
   std::future<Score> future = promise.get_future();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    if (stopping_) Fatal("Submit() after Shutdown()");
     queue_space_.wait(lk, [this] {
       return static_cast<int>(queue_.size()) < config_.queue_capacity ||
              stopping_;
     });
-    if (stopping_) Fatal("Submit() raced with Shutdown()");
+    if (stopping_) {
+      // Shutdown raced (or preceded) the enqueue: the request was never
+      // queued, so it resolves immediately with an explicit status instead
+      // of aborting the process (the pre-router engine did the latter).
+      ++stats_.rejected_shutdown;
+      lk.unlock();
+      Score score;
+      score.status = ServeStatus::kRejectedShutdown;
+      promise.set_value(score);
+      obs_rejected_.Inc();
+      return future;
+    }
     Request request;
     request.example = std::move(example);
     request.promise = std::move(promise);
     request.enqueue_ns = obs::NowNanos();
+    queue_.push_back(std::move(request));
+    ++stats_.submitted;
+    stats_.max_queue_depth = std::max(
+        stats_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
+    obs_queue_depth_.Observe(static_cast<double>(queue_.size()));
+  }
+  obs_requests_.Inc();
+  queue_ready_.notify_one();
+  return future;
+}
+
+std::future<Score> Engine::TrySubmit(data::Example example,
+                                     std::int64_t deadline_ns) {
+  std::promise<Score> promise;
+  std::future<Score> future = promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) {
+      ++stats_.rejected_shutdown;
+      lk.unlock();
+      Score score;
+      score.status = ServeStatus::kRejectedShutdown;
+      promise.set_value(score);
+      obs_rejected_.Inc();
+      return future;
+    }
+    if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
+      // Bounded queue + reject-with-status: the overload policy. Shedding
+      // here keeps queueing delay bounded by capacity instead of letting
+      // latency grow without bound past saturation.
+      ++stats_.rejected_overload;
+      lk.unlock();
+      Score score;
+      score.status = ServeStatus::kRejectedOverload;
+      promise.set_value(score);
+      obs_rejected_.Inc();
+      return future;
+    }
+    Request request;
+    request.example = std::move(example);
+    request.promise = std::move(promise);
+    request.enqueue_ns = obs::NowNanos();
+    request.deadline_ns = deadline_ns;
     queue_.push_back(std::move(request));
     ++stats_.submitted;
     stats_.max_queue_depth = std::max(
@@ -93,18 +179,18 @@ std::vector<Score> Engine::ScoreAll(const std::vector<data::Example>& examples) 
 }
 
 void Engine::Shutdown() {
-  bool join_here = false;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(mu_);
     stopping_ = true;
-    if (!joined_) {
-      joined_ = true;
-      join_here = true;
-    }
   }
   queue_ready_.notify_all();
   queue_space_.notify_all();
-  if (join_here && dispatcher_.joinable()) dispatcher_.join();
+  // Every Shutdown caller — including racing ones — must observe the drain
+  // as complete on return, or a caller could destroy the engine while
+  // another's join is still in flight. join_mu_ serializes the join; late
+  // arrivals block until it finished, then see joinable() == false.
+  std::lock_guard<std::mutex> join_lk(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
 }
 
 EngineStats Engine::stats() const {
@@ -120,15 +206,27 @@ void Engine::DispatchLoop() {
       queue_ready_.wait(lk, [this] { return !queue_.empty() || stopping_; });
       if (queue_.empty()) break;  // stopping_ and fully drained
 
-      // Deadline policy: wait for more rows until either the batch is full
-      // or max_wait has elapsed since the *oldest* queued request arrived.
-      // Shutdown flushes immediately — drained requests still get scored.
-      const std::int64_t deadline_ns =
-          queue_.front().enqueue_ns +
-          static_cast<std::int64_t>(config_.max_wait_micros) * 1000;
+      // Deadline policy. The flush deadline anchors at the enqueue of the
+      // first request of the *current* batch (== queue_.front(): the batch
+      // is always a prefix of the queue) — never at the previous flush —
+      // plus max_wait, tightened by the earliest per-request deadline among
+      // the rows that would be in the flush. Shutdown flushes immediately;
+      // drained requests still get scored.
+      auto flush_by = [this]() {
+        std::int64_t by =
+            queue_.front().enqueue_ns +
+            static_cast<std::int64_t>(config_.max_wait_micros) * 1000;
+        const int considered = std::min<int>(config_.max_batch,
+                                             static_cast<int>(queue_.size()));
+        for (int i = 0; i < considered; ++i) {
+          const std::int64_t d = queue_[static_cast<std::size_t>(i)].deadline_ns;
+          if (d > 0) by = std::min(by, d);
+        }
+        return by;
+      };
       while (static_cast<int>(queue_.size()) < config_.max_batch &&
              !stopping_) {
-        const std::int64_t remaining_ns = deadline_ns - obs::NowNanos();
+        const std::int64_t remaining_ns = flush_by() - obs::NowNanos();
         if (remaining_ns <= 0) break;
         queue_ready_.wait_for(lk, std::chrono::nanoseconds(remaining_ns));
       }
@@ -140,10 +238,14 @@ void Engine::DispatchLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      if (stopping_) {
-        ++stats_.flushed_drain;
-      } else if (take >= config_.max_batch) {
+      // Flush classification, one counter per flush. A full batch counts as
+      // flushed_full exactly once even when its deadline expired in the
+      // same instant (or shutdown raced it) — full wins, so the three
+      // counters always sum to `batches` with no double counting.
+      if (take >= config_.max_batch) {
         ++stats_.flushed_full;
+      } else if (stopping_) {
+        ++stats_.flushed_drain;
       } else {
         ++stats_.flushed_deadline;
       }
@@ -158,8 +260,14 @@ void Engine::ScoreAndFulfill(std::vector<Request>* batch) {
   examples.reserve(batch->size());
   for (const Request& request : *batch) examples.push_back(request.example);
 
+  // Pin one model version for the whole batch: every row of the batch is
+  // scored against the same FrozenModel, and the version cannot be retired
+  // (hot swap) until Release — after the last promise is fulfilled.
+  std::uint64_t ticket = 0;
+  const FrozenModel* model = source_->Acquire(&ticket);
+
   const std::int64_t score_t0 = obs::NowNanos();
-  const ScoreColumns columns = model_->ScoreExamples(examples);
+  const ScoreColumns columns = model->ScoreExamples(examples);
   const std::int64_t done_ns = obs::NowNanos();
   obs_score_seconds_.Add(static_cast<double>(done_ns - score_t0) * 1e-9);
   obs_batches_.Inc();
@@ -185,6 +293,7 @@ void Engine::ScoreAndFulfill(std::vector<Request>* batch) {
         static_cast<double>(done_ns - (*batch)[i].enqueue_ns) * 1e-9);
     (*batch)[i].promise.set_value(score);
   }
+  source_->Release(ticket);
 }
 
 }  // namespace serve

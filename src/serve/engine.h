@@ -1,10 +1,12 @@
 #ifndef DCMT_SERVE_ENGINE_H_
 #define DCMT_SERVE_ENGINE_H_
 
-// The serving engine is, with src/core/, one of the two sanctioned
-// concurrency sites in the tree (enforced by the dcmt_lint concurrency
-// rule): it owns the bounded request queue and its dispatcher thread.
-// Scoring itself still fans out through core::ThreadPool.
+// The serving engine is, with src/core/, one of the sanctioned concurrency
+// sites in the tree (enforced by the dcmt_lint concurrency rule — under
+// src/serve/ the sanction covers engine/router/shard_cache, the files that
+// own queues and dispatcher threads): it owns the bounded request queue and
+// its dispatcher thread. Scoring itself still fans out through
+// core::ThreadPool.
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -24,17 +26,41 @@ namespace serve {
 struct EngineConfig {
   /// Flush as soon as this many requests have coalesced.
   int max_batch = 256;
-  /// Flush a partial batch this long after its *oldest* request arrived.
+  /// Flush a partial batch this long after the first enqueue of the
+  /// *current* batch — i.e. the enqueue of the oldest request that will be
+  /// in the flush. The anchor is never the previous flush time: a request
+  /// that arrived while the dispatcher was busy scoring carries its own
+  /// enqueue timestamp, and its batch waits the full max_wait from *that*
+  /// moment (pinned by ServeTest.DeadlineAnchorsAtFirstEnqueueOfBatch).
   int max_wait_micros = 200;
-  /// Submit() blocks (backpressure) while this many requests are queued.
+  /// Submit() blocks (backpressure) while this many requests are queued;
+  /// TrySubmit() rejects with kRejectedOverload instead of blocking.
   int queue_capacity = 4096;
 };
 
-/// One request's serving scores.
+/// Terminal status of one serving request. Every future an engine or router
+/// hands out resolves — rejected requests resolve immediately with a
+/// non-kOk status instead of being dropped or aborting the process.
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,
+  /// Submitted after Shutdown() (or while shutdown raced the enqueue); the
+  /// request was never queued.
+  kRejectedShutdown = 1,
+  /// TrySubmit() found the bounded queue at capacity — the explicit
+  /// load-shedding policy of the router tier (DESIGN.md §16).
+  kRejectedOverload = 2,
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+/// One request's serving scores. `status` is kOk for scored requests; a
+/// rejected request carries zeroed scores and the rejection reason.
 struct Score {
   float pctr = 0.0f;
   float pcvr = 0.0f;
   float pctcvr = 0.0f;
+  ServeStatus status = ServeStatus::kOk;
+  bool ok() const { return status == ServeStatus::kOk; }
 };
 
 /// Point-in-time engine counters (all monotone except max_* watermarks).
@@ -43,10 +69,27 @@ struct EngineStats {
   std::int64_t scored = 0;
   std::int64_t batches = 0;
   std::int64_t flushed_full = 0;      // batch reached max_batch
-  std::int64_t flushed_deadline = 0;  // max_wait expired on a partial batch
-  std::int64_t flushed_drain = 0;     // flushed while shutting down
+  std::int64_t flushed_deadline = 0;  // max_wait or a request deadline expired
+  std::int64_t flushed_drain = 0;     // partial batch flushed while stopping
+  std::int64_t rejected_shutdown = 0;  // Submit/TrySubmit after Shutdown
+  std::int64_t rejected_overload = 0;  // TrySubmit against a full queue
   std::int64_t max_queue_depth = 0;
   std::int64_t max_batch_scored = 0;
+};
+
+/// Source of the FrozenModel a batch is scored against. The engine pins one
+/// model per batch — Acquire before scoring, Release after every promise of
+/// the batch is fulfilled — so a hot swap (serve::SwappableModel) can
+/// retire the previous version the moment its last in-flight batch
+/// completes, and every response is computed entirely against one version
+/// (never a torn mix). Implementations must be thread-safe.
+class ModelSource {
+ public:
+  virtual ~ModelSource() = default;
+  /// Returns the model for the next batch; `*ticket` is opaque state handed
+  /// back to Release. The returned model stays valid until Release.
+  virtual const FrozenModel* Acquire(std::uint64_t* ticket) = 0;
+  virtual void Release(std::uint64_t ticket) = 0;
 };
 
 /// Micro-batching scoring engine over a FrozenModel (DESIGN.md §13).
@@ -62,24 +105,41 @@ struct EngineStats {
 /// it happened to coalesce with — timing changes batching, never values.
 ///
 /// Shutdown (or destruction) stops accepting new work, drains every queued
-/// request through scoring — no request is ever dropped — and joins the
-/// dispatcher. Submitting after Shutdown aborts.
+/// request through scoring — no queued request is ever dropped — and joins
+/// the dispatcher. Shutdown is idempotent and safe to race from several
+/// threads: every caller returns only after the drain + join completed.
+/// Submitting after Shutdown resolves the future immediately with
+/// ServeStatus::kRejectedShutdown — it never aborts.
 ///
 /// Observability: queue depth, batch size, and request latency histograms
-/// plus request/batch counters, recorded through dcmt::obs under
+/// plus request/batch/rejection counters, recorded through dcmt::obs under
 /// dcmt_serve_* names.
 class Engine {
  public:
-  /// `model` is non-owning and must outlive the engine.
+  /// `model` is non-owning and must outlive the engine (fixed, no swap).
   explicit Engine(const FrozenModel* model, EngineConfig config = {});
+  /// Scores each batch against `source->Acquire()` — the hot-swap path.
+  /// `source` is non-owning and must outlive the engine.
+  explicit Engine(ModelSource* source, EngineConfig config = {});
   ~Engine();  // == Shutdown()
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Enqueues one row; blocks while the queue is at capacity. The returned
-  /// future is fulfilled by the dispatcher after the row's batch is scored.
+  /// future is fulfilled by the dispatcher after the row's batch is scored,
+  /// or immediately with kRejectedShutdown when the engine is stopping.
   std::future<Score> Submit(data::Example example);
+
+  /// Non-blocking Submit with an optional absolute deadline (obs::NowNanos
+  /// clock; 0 = none). A full queue rejects immediately with
+  /// kRejectedOverload instead of exerting backpressure — the router tier's
+  /// load-shedding primitive. A request deadline tightens its batch's flush
+  /// time: the batch flushes at min(first-enqueue + max_wait, earliest
+  /// member deadline), which is how the router propagates request budgets
+  /// into the micro-batcher.
+  std::future<Score> TrySubmit(data::Example example,
+                               std::int64_t deadline_ns = 0);
 
   /// Submit + wait, for callers without their own pipelining.
   Score ScoreSync(data::Example example);
@@ -89,11 +149,10 @@ class Engine {
   std::vector<Score> ScoreAll(const std::vector<data::Example>& examples);
 
   /// Drains all queued requests through scoring, then joins the dispatcher.
-  /// Idempotent.
+  /// Idempotent; concurrent callers all block until the drain completed.
   void Shutdown();
 
   EngineStats stats() const;
-  const FrozenModel& model() const { return *model_; }
   const EngineConfig& config() const { return config_; }
 
  private:
@@ -101,12 +160,30 @@ class Engine {
     data::Example example;
     std::promise<Score> promise;
     std::int64_t enqueue_ns = 0;
+    std::int64_t deadline_ns = 0;  // absolute; 0 = no per-request deadline
   };
 
+  /// Adapts a fixed FrozenModel* to the ModelSource seam.
+  class FixedSource : public ModelSource {
+   public:
+    explicit FixedSource(const FrozenModel* model) : model_(model) {}
+    const FrozenModel* Acquire(std::uint64_t* ticket) override {
+      *ticket = 0;
+      return model_;
+    }
+    void Release(std::uint64_t) override {}
+
+   private:
+    const FrozenModel* model_;
+  };
+
+  void Start();
   void DispatchLoop();
   void ScoreAndFulfill(std::vector<Request>* batch);
+  std::future<Score> RejectedFuture(ServeStatus status);
 
-  const FrozenModel* model_;
+  FixedSource fixed_source_;
+  ModelSource* source_;
   const EngineConfig config_;
 
   mutable std::mutex mu_;
@@ -114,12 +191,13 @@ class Engine {
   std::condition_variable queue_space_;  // dispatcher -> blocked producers
   std::deque<Request> queue_;
   bool stopping_ = false;
-  bool joined_ = false;
   EngineStats stats_;
+  std::mutex join_mu_;  // serializes the dispatcher join across Shutdowns
 
   // obs handles (acquired once; recording is a no-op while obs is disabled).
   obs::Counter obs_requests_;
   obs::Counter obs_batches_;
+  obs::Counter obs_rejected_;
   obs::Histogram obs_queue_depth_;
   obs::Histogram obs_batch_size_;
   obs::Histogram obs_latency_seconds_;

@@ -47,11 +47,29 @@ TEST(LintTest, ConcurrencySanctionedInsideCore) {
   EXPECT_EQ(CountRule(diags, "concurrency"), 0);
 }
 
-TEST(LintTest, ConcurrencySanctionedInsideServe) {
-  // The serving engine owns its queue/dispatcher primitives (DESIGN.md §13).
+TEST(LintTest, ConcurrencySanctionedInServeOwningFiles) {
+  // Under src/serve/ the sanction is per-file: the engine's
+  // queue/dispatcher (DESIGN.md §13), the router's swap double-buffer, and
+  // the shard cache's per-shard mutexes (DESIGN.md §16) own primitives.
   const std::string content = ReadFixture("concurrency.cc");
-  const auto diags = LintFileContent("src/serve/concurrency.cc", content, "");
-  EXPECT_EQ(CountRule(diags, "concurrency"), 0);
+  for (const char* path :
+       {"src/serve/engine.cc", "src/serve/engine.h", "src/serve/router.cc",
+        "src/serve/router.h", "src/serve/shard_cache.cc",
+        "src/serve/shard_cache.h"}) {
+    const auto diags = LintFileContent(path, content, "");
+    EXPECT_EQ(CountRule(diags, "concurrency"), 0) << path;
+  }
+}
+
+TEST(LintTest, ConcurrencyFlaggedInOtherServeFiles) {
+  // The rest of the serving tier is plain value code: a mutex sneaking into
+  // frozen_model (or any new serve file) is a finding, not a sanction.
+  const std::string content = ReadFixture("concurrency.cc");
+  for (const char* path :
+       {"src/serve/frozen_model.cc", "src/serve/scorer_util.cc"}) {
+    const auto diags = LintFileContent(path, content, "");
+    EXPECT_GE(CountRule(diags, "concurrency"), 2) << path;
+  }
 }
 
 TEST(LintTest, ServeNoBackwardFlaggedUnderServe) {

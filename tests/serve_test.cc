@@ -3,14 +3,22 @@
 // and at several threads), the micro-batching engine's coalescing/flush/
 // drain behaviour, the inference arena, and FrozenModel::Load validation.
 
+// dcmt-lint: allow(concurrency) — cross-thread assertion counters.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+// dcmt-lint: allow(concurrency) — futures carry engine scores cross-thread.
+#include <future>
 #include <memory>
 #include <string>
+// dcmt-lint: allow(concurrency) — real submitter threads for the engine.
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/obs.h"
 #include "core/registry.h"
 #include "core/thread_pool.h"
 #include "data/batcher.h"
@@ -319,6 +327,152 @@ TEST_F(ServeTest, EngineStatsTrackBatchesAndWatermarks) {
   EXPECT_LE(stats.max_batch_scored, 32);
   EXPECT_GE(stats.max_batch_scored, 1);
   EXPECT_GE(stats.max_queue_depth, 1);
+}
+
+// --- Rejection semantics (bugfix: Submit after Shutdown used to abort). -----
+
+TEST_F(ServeTest, SubmitAfterShutdownRejectsInsteadOfAborting) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::Engine engine(&frozen);
+  EXPECT_TRUE(engine.ScoreSync(train_.examples()[0]).ok());
+  engine.Shutdown();
+  // Both entry points resolve immediately with a status — no Fatal, no hang.
+  const serve::Score via_submit = engine.Submit(train_.examples()[0]).get();
+  EXPECT_EQ(via_submit.status, serve::ServeStatus::kRejectedShutdown);
+  EXPECT_EQ(via_submit.pctcvr, 0.0f);
+  const serve::Score via_try = engine.TrySubmit(train_.examples()[0]).get();
+  EXPECT_EQ(via_try.status, serve::ServeStatus::kRejectedShutdown);
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected_shutdown, 2);
+  EXPECT_EQ(stats.scored, 1);
+}
+
+TEST_F(ServeTest, ConcurrentSubmittersRacingShutdownAllResolve) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 4;
+  serve::Engine engine(&frozen, config);
+  const int kThreads = 4;
+  const int kPerThread = 25;
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<std::int64_t> ok{0};
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<std::int64_t> rejected{0};
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<std::int64_t> other{0};
+  // dcmt-lint: allow(concurrency) — the race with Shutdown is the subject.
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const serve::Score score =
+            engine.Submit(train_.examples()[0]).get();
+        if (score.status == serve::ServeStatus::kOk) {
+          ok.fetch_add(1);
+        } else if (score.status == serve::ServeStatus::kRejectedShutdown) {
+          rejected.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Shutdown lands somewhere inside the torrent; every racing caller's
+  // future must still resolve — scored or explicitly rejected, never stuck,
+  // never aborting the process.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  engine.Shutdown();
+  // dcmt-lint: allow(concurrency) — joining the submitter fleet.
+  for (std::thread& thread : submitters) thread.join();
+  EXPECT_EQ(ok.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_EQ(other.load(), 0);
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.scored, ok.load());
+  EXPECT_EQ(stats.rejected_shutdown, rejected.load());
+}
+
+// --- Micro-batch deadline clock (bugfix sweep). -----------------------------
+
+TEST_F(ServeTest, DeadlineAnchorsAtFirstEnqueueOfBatch) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 1024;
+  config.max_wait_micros = 250000;  // 250ms
+  serve::Engine engine(&frozen, config);
+  // First request establishes a flush; by the time the second arrives the
+  // dispatcher is idle again. A buggy clock anchored at the previous flush
+  // would consider the second batch's deadline already expired and flush it
+  // instantly; the fixed clock waits the full max_wait from the second
+  // request's own enqueue.
+  engine.ScoreSync(train_.examples()[0]);
+  const auto start = std::chrono::steady_clock::now();
+  engine.ScoreSync(train_.examples()[0]);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            150);  // comfortably above zero, below 250ms + scoring slack
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.flushed_deadline, 2);
+  EXPECT_EQ(stats.flushed_full, 0);
+}
+
+TEST_F(ServeTest, FullAndExpiredFlushCountsExactlyOnce) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 1;       // every enqueue fills the batch...
+  config.max_wait_micros = 0;  // ...and its deadline is already expired
+  serve::Engine engine(&frozen, config);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(engine.ScoreSync(train_.examples()[0]).ok());
+  }
+  engine.Shutdown();
+  // A flush that is simultaneously full and past its deadline is one flush:
+  // classified as full, never double-counted.
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batches, 5);
+  EXPECT_EQ(stats.flushed_full, 5);
+  EXPECT_EQ(stats.flushed_deadline, 0);
+  EXPECT_EQ(stats.flushed_drain, 0);
+  EXPECT_EQ(stats.flushed_full + stats.flushed_deadline + stats.flushed_drain,
+            stats.batches);
+}
+
+TEST_F(ServeTest, TrySubmitShedsLoadWhenQueueIsFull) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 64;
+  config.max_wait_micros = 30000000;  // park the dispatcher on its deadline
+  config.queue_capacity = 3;
+  serve::Engine engine(&frozen, config);
+  // dcmt-lint: allow(concurrency) — future tokens carry the scores.
+  std::vector<std::future<serve::Score>> accepted;
+  for (int i = 0; i < 3; ++i) {
+    accepted.push_back(engine.TrySubmit(train_.examples()[0]));
+  }
+  const serve::Score shed = engine.TrySubmit(train_.examples()[0]).get();
+  EXPECT_EQ(shed.status, serve::ServeStatus::kRejectedOverload);
+  engine.Shutdown();  // drains the accepted three
+  for (auto& f : accepted) EXPECT_TRUE(f.get().ok());
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected_overload, 1);
+  EXPECT_EQ(stats.scored, 3);
+}
+
+TEST_F(ServeTest, PerRequestDeadlineTightensTheBatchFlush) {
+  const serve::FrozenModel frozen = Frozen();
+  serve::EngineConfig config;
+  config.max_batch = 1024;
+  config.max_wait_micros = 30000000;  // 30s: only the deadline can flush
+  serve::Engine engine(&frozen, config);
+  const auto start = std::chrono::steady_clock::now();
+  const serve::Score got =
+      engine.TrySubmit(train_.examples()[0], obs::NowNanos() + 20000000)
+          .get();  // 20ms budget
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(got.ok());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+  EXPECT_EQ(engine.stats().flushed_deadline, 1);
 }
 
 }  // namespace

@@ -15,15 +15,21 @@
 // faults runs with prefetch_depth = 0 (no prefetch thread at all).
 
 #include <algorithm>
+// dcmt-lint: allow(concurrency) — cross-thread assertion counters.
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <string>
+// dcmt-lint: allow(concurrency) — a real producer thread for the channel.
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/dcmt.h"
 #include "core/io.h"
+#include "core/prefetch.h"
 #include "core/thread_pool.h"
 #include "data/batcher.h"
 #include "data/generator.h"
@@ -654,6 +660,59 @@ TEST(StreamTest, TrainerAbortsArePreemptedByFailClosedReads) {
   batcher.Rewind();
   EXPECT_FALSE(batcher.Next(&batch));
   EXPECT_FALSE(batcher.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch shutdown wakeup (bugfix-sweep audit, core/prefetch.h)
+// ---------------------------------------------------------------------------
+
+TEST(PrefetchTest, CancelWakesProducerBlockedOnFullChannel) {
+  // A producer stuck in Push against a full channel must be woken by
+  // Cancel and observe the cancellation (Push returns false) — this is the
+  // contract StreamingBatcher's destructor relies on to join its worker.
+  core::BoundedChannel<int> channel(2);
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<int> pushed{0};
+  // dcmt-lint: allow(concurrency) — cross-thread assertion flag.
+  std::atomic<bool> last_push_result{true};
+  // dcmt-lint: allow(concurrency) — the blocked-producer wakeup is the test.
+  std::thread producer([&] {
+    for (int i = 0; i < 3; ++i) {
+      const bool ok = channel.Push(i);
+      last_push_result.store(ok);
+      if (!ok) return;
+      pushed.fetch_add(1);
+    }
+  });
+  // Wait until the first two pushes landed; the third is now blocked on the
+  // full channel (or about to be — Cancel wakes it either way).
+  while (pushed.load() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  channel.Cancel();
+  producer.join();  // would hang forever if Cancel failed to wake Push
+  EXPECT_EQ(pushed.load(), 2);
+  EXPECT_FALSE(last_push_result.load());
+  // Cancelled channels also refuse Pop, so no consumer can strand either.
+  int value = 0;
+  EXPECT_FALSE(channel.Pop(&value));
+}
+
+TEST(StreamTest, DestroyMidEpochJoinsBlockedPrefetchWorker) {
+  // Many tiny shards + depth-1 prefetch: after one Next() the worker has
+  // decoded ahead and is blocked pushing into the full channel. Destroying
+  // the batcher at that point must cancel, wake, and join the worker — not
+  // hang and not race shard decode against teardown.
+  const std::string dir = GenShardsOrDie("destroy_mid_epoch", 600, 25);
+  for (int round = 0; round < 5; ++round) {
+    data::StreamingDataset streaming = OpenOrDie(dir);
+    Rng rng(7);
+    data::StreamingBatcher batcher(&streaming, 32, &rng, /*prefetch_depth=*/1);
+    data::Batch batch;
+    ASSERT_TRUE(batcher.Next(&batch));
+    // Give the worker time to fill the channel and block on the next push.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Batcher destroyed here with the pipeline mid-flight.
+  }
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 
 #include "core/dcmt.h"
 #include "core/io.h"
+#include "core/prefetch.h"
 #include "core/thread_pool.h"
 #include "data/generator.h"
 #include "data/profiles.h"
@@ -37,6 +38,7 @@
 #include "eval/trainer.h"
 #include "serve/engine.h"
 #include "serve/frozen_model.h"
+#include "serve/router.h"
 #include "tensor/ops.h"
 
 namespace dcmt {
@@ -401,6 +403,133 @@ TEST(TsanStress, ServeEngineShutdownDrainsInflightWithoutDrops) {
   const serve::EngineStats stats = engine.stats();
   EXPECT_EQ(stats.submitted, 64);
   EXPECT_EQ(stats.scored, 64);
+}
+
+// --- Prefetch channel shutdown edges (core/prefetch.h). ---------------------
+
+TEST(TsanStress, ChannelCancelWakesBlockedProducer) {
+  // Repeatedly strand a producer on a full channel and Cancel it: TSan
+  // checks the wakeup edge the StreamingBatcher destructor depends on.
+  for (int round = 0; round < 20; ++round) {
+    core::BoundedChannel<int> channel(1);
+    // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+    std::atomic<int> pushed{0};
+    // dcmt-lint: allow(concurrency) — the blocked-producer wakeup is the test.
+    std::thread producer([&] {
+      for (int i = 0; i < 2; ++i) {
+        if (!channel.Push(i)) return;
+        pushed.fetch_add(1);
+      }
+    });
+    while (pushed.load() < 1) std::this_thread::yield();
+    channel.Cancel();
+    producer.join();  // hangs here if Cancel fails to wake the Push
+    EXPECT_EQ(pushed.load(), 1);
+  }
+}
+
+// --- serve::Router: swap + shutdown races (DESIGN.md §16). ------------------
+
+TEST(TsanStress, RouterSwapUnderSustainedLoad) {
+  // Client threads hammer the router while another thread hot-swaps the
+  // model back and forth: TSan checks the Acquire/Release pin protocol, the
+  // double-buffer flip, and the cache rebind against real traffic.
+  ScopedParallelConfig config(2, 1);
+  ServeStressFixture& fixture = ServeFixture();
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 4;
+  model_config.hidden_dims = {8, 4};
+  auto make_version = [&](int seed) {
+    models::ModelConfig c = model_config;
+    c.seed = seed;
+    return std::make_unique<serve::FrozenModel>(
+        std::make_unique<core::Dcmt>(fixture.generator->Schema(), c),
+        fixture.generator->Schema());
+  };
+  serve::RouterConfig router_config;
+  router_config.num_engines = 2;
+  router_config.engine.max_batch = 8;
+  router_config.engine.max_wait_micros = 100;
+  router_config.default_deadline_micros = 0;  // load, not latency, is the test
+  serve::Router router(make_version(1), router_config);
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<int> ok{0};
+  {
+    // dcmt-lint: allow(concurrency) — submitters racing Swap are the test.
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&router, &fixture, &ok, t] {
+        for (int i = 0; i < 40; ++i) {
+          const std::size_t row =
+              static_cast<std::size_t>((t * 40 + i) % 128);
+          if (router.ScoreSync(fixture.rows[row]).ok()) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (int swap = 2; swap < 6; ++swap) {
+      std::unique_ptr<const serve::FrozenModel> retired =
+          router.Swap(make_version(swap));
+      EXPECT_NE(retired, nullptr);
+      // `retired` destroyed here, while traffic continues on the new
+      // version — safe because Swap quiesced every pin on it.
+    }
+    for (auto& submitter : submitters) submitter.join();
+  }
+  router.Shutdown();
+  EXPECT_EQ(ok.load(), 3 * 40);  // zero drops across four hot swaps
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.scored, 3 * 40);
+  EXPECT_EQ(stats.swaps, 4);
+}
+
+TEST(TsanStress, RouterSubmittersRaceShutdown) {
+  // Shutdown lands inside a submit torrent: every future resolves (scored
+  // or explicitly rejected), nothing hangs, nothing aborts.
+  ScopedParallelConfig config(2, 1);
+  ServeStressFixture& fixture = ServeFixture();
+  models::ModelConfig model_config;
+  model_config.embedding_dim = 4;
+  model_config.hidden_dims = {8, 4};
+  serve::RouterConfig router_config;
+  router_config.num_engines = 2;
+  router_config.engine.max_batch = 4;
+  serve::Router router(
+      std::make_unique<serve::FrozenModel>(
+          std::make_unique<core::Dcmt>(fixture.generator->Schema(),
+                                       model_config),
+          fixture.generator->Schema()),
+      router_config);
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<int> resolved{0};
+  // dcmt-lint: allow(concurrency) — cross-thread assertion counter.
+  std::atomic<int> torn{0};
+  {
+    // dcmt-lint: allow(concurrency) — the race with Shutdown is the test.
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&router, &fixture, &resolved, &torn, t] {
+        for (int i = 0; i < 30; ++i) {
+          const serve::Score score = router.ScoreSync(
+              fixture.rows[static_cast<std::size_t>((t * 30 + i) % 128)]);
+          if (score.status == serve::ServeStatus::kOk ||
+              score.status == serve::ServeStatus::kRejectedShutdown) {
+            resolved.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    router.Shutdown();  // races the torrent; also exercises idempotence
+    router.Shutdown();
+    for (auto& submitter : submitters) submitter.join();
+  }
+  EXPECT_EQ(resolved.load(), 4 * 30);
+  EXPECT_EQ(torn.load(), 0);
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.scored + stats.rejected_shutdown, 4 * 30);
 }
 
 }  // namespace

@@ -34,17 +34,33 @@
 //       (from a checkpoint, or fresh-initialized when --ckpt is omitted),
 //       replays a deterministic synthetic request stream, and reports
 //       throughput plus the engine's batching counters.
+//   dcmt_cli router-bench [--model=dcmt --ckpt=dcmt.ckpt] [--engines=2]
+//                         [--requests=2000 --clients=4 --deadline-us=50000]
+//                         [--zipf-s=1.1 --swap=1 --overload=1]
+//                         [--metrics-out=metrics.prom]
+//       closed-loop loadgen against the sharded serve::Router (DESIGN.md
+//       §16): Zipf users over consistent-hash engine routing, diurnal
+//       pacing, a hot model swap mid-run (exits nonzero unless drop-free),
+//       and a bounded-queue overload burst (exits nonzero unless shed).
 //
 // The checkpoint format is architecture-checked: loading with mismatched
 // --model or hyper-parameters fails loudly instead of mispredicting.
 
 #include <algorithm>
+// dcmt-lint: allow(concurrency) — router-bench counts drops across clients.
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+// dcmt-lint: allow(concurrency) — router-bench holds future score tokens.
+#include <future>
 #include <memory>
 #include <string>
+// dcmt-lint: allow(concurrency) — router-bench drives a real client fleet.
+#include <thread>
 #include <vector>
 
 #include "core/obs.h"
@@ -62,6 +78,7 @@
 #include "nn/serialize.h"
 #include "serve/engine.h"
 #include "serve/frozen_model.h"
+#include "serve/router.h"
 #include "tensor/random.h"
 
 namespace {
@@ -72,8 +89,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dcmt_cli "
-      "<generate|gen-shards|train|evaluate|predict|check-graph|serve-bench>"
-      " [--flags]\n"
+      "<generate|gen-shards|train|evaluate|predict|check-graph|serve-bench|"
+      "router-bench> [--flags]\n"
       "run a subcommand with a bogus flag to list its options\n");
   return 2;
 }
@@ -572,6 +589,233 @@ int ServeBenchCmd(int argc, char** argv) {
   return WriteObsOutputs(flags);
 }
 
+/// `dcmt_cli router-bench` — closed-loop load against the sharded router
+/// tier (DESIGN.md §16): Zipf-distributed users, a compressed diurnal rate
+/// curve, a hot model swap mid-run (verified drop-free), and an overload
+/// burst at well past saturation (verified to shed, not queue unboundedly).
+/// Exits nonzero when any closed-loop request is dropped or the overload
+/// phase fails to shed — the run doubles as the tier-1 router demo.
+int RouterBenchCmd(int argc, char** argv) {
+  const eval::Flags flags(argc, argv,
+                          {{"model", "dcmt"},
+                           {"ckpt", ""},
+                           {"profile", "ae-es"},
+                           {"requests", "2000"},
+                           {"clients", "4"},
+                           {"engines", "2"},
+                           {"deadline-us", "50000"},
+                           {"max-batch", "32"},
+                           {"max-wait-us", "200"},
+                           {"queue-capacity", "4096"},
+                           {"cache-rows", "4096"},
+                           {"zipf-s", "1.1"},
+                           {"swap", "1"},
+                           {"overload", "1"},
+                           {"embedding-dim", "16"},
+                           {"lambda1", "1.0"},
+                           {"seed", "7"},
+                           {"threads", "0"},
+                           {"metrics-out", ""},
+                           {"trace-out", ""}});
+  ApplyThreadsFlag(flags);
+  ApplyObsFlags(flags);
+  data::SyntheticLogGenerator generator(
+      data::ProfileByName(flags.Get("profile")));
+
+  // Version factory: checkpointed runs serve the checkpoint (every version
+  // identical in weights — the swap still exercises the full protocol);
+  // fresh runs differentiate versions by seed.
+  auto make_version =
+      [&](int version) -> std::unique_ptr<serve::FrozenModel> {
+    if (!flags.Get("ckpt").empty()) {
+      return serve::FrozenModel::Load(flags.Get("model"), generator.Schema(),
+                                      ModelConfigFromFlags(flags),
+                                      flags.Get("ckpt"));
+    }
+    models::ModelConfig config = ModelConfigFromFlags(flags);
+    config.seed += static_cast<std::uint64_t>(version);
+    return std::make_unique<serve::FrozenModel>(
+        core::CreateModel(flags.Get("model"), generator.Schema(), config),
+        generator.Schema());
+  };
+  std::unique_ptr<serve::FrozenModel> initial = make_version(0);
+  if (initial == nullptr) {
+    std::fprintf(stderr,
+                 "router-bench: checkpoint %s does not match model '%s'\n",
+                 flags.Get("ckpt").c_str(), flags.Get("model").c_str());
+    return 1;
+  }
+
+  serve::RouterConfig router_config;
+  router_config.num_engines = std::max(1, flags.GetInt("engines"));
+  router_config.engine.max_batch = flags.GetInt("max-batch");
+  router_config.engine.max_wait_micros = flags.GetInt("max-wait-us");
+  router_config.engine.queue_capacity = flags.GetInt("queue-capacity");
+  router_config.default_deadline_micros = flags.GetInt("deadline-us");
+  router_config.cache_rows_per_shard = flags.GetInt("cache-rows");
+  serve::Router router(std::move(initial), router_config);
+
+  // Zipf CDF over the user population: a few hot users dominate, which is
+  // what gives the sharded embedding cache a realistic hit pattern.
+  const double zipf_s = flags.GetDouble("zipf-s");
+  const auto& profile = generator.profile();
+  std::vector<double> zipf_cdf;
+  zipf_cdf.reserve(static_cast<std::size_t>(profile.num_users));
+  double zipf_total = 0.0;
+  for (int k = 0; k < profile.num_users; ++k) {
+    zipf_total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+    zipf_cdf.push_back(zipf_total);
+  }
+  for (double& c : zipf_cdf) c /= zipf_total;
+
+  const int total = std::max(1, flags.GetInt("requests"));
+  const int clients = std::max(1, flags.GetInt("clients"));
+  const int per_client = std::max(1, total / clients);
+  const bool do_swap = flags.GetInt("swap") != 0;
+
+  // --- Phase 1: closed-loop clients, diurnal pacing, mid-run hot swap. -----
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  // dcmt-lint: allow(concurrency) — cross-client drop counter.
+  std::atomic<std::int64_t> dropped{0};
+  const std::int64_t t0 = obs::NowNanos();
+  {
+    // dcmt-lint: allow(concurrency) — the client fleet is the load model.
+    std::vector<std::thread> fleet;
+    fleet.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      fleet.emplace_back([&, c] {
+        Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) * 1000003 +
+                static_cast<std::uint64_t>(c));
+        std::vector<double>& mine = latencies[static_cast<std::size_t>(c)];
+        mine.reserve(static_cast<std::size_t>(per_client));
+        for (int i = 0; i < per_client; ++i) {
+          // Compressed diurnal curve: one "day" per 200 requests; off-peak
+          // the client idles up to ~200us between requests.
+          const double phase = 2.0 * M_PI * static_cast<double>(i) / 200.0;
+          const int pause_us =
+              static_cast<int>(100.0 * (1.0 - std::sin(phase)));
+          if (pause_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+          }
+          const double u = static_cast<double>(rng.Uniform());
+          const int user = static_cast<int>(
+              std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+              zipf_cdf.begin());
+          const int item =
+              static_cast<int>(rng.NextBounded(profile.num_items));
+          const data::Example row = generator.MakeExample(user, item, 0);
+          const std::int64_t start = obs::NowNanos();
+          const serve::Score score = router.Submit(row).get();
+          if (score.ok()) {
+            mine.push_back(static_cast<double>(obs::NowNanos() - start) *
+                           1e-9);
+          } else {
+            dropped.fetch_add(1);
+          }
+        }
+      });
+    }
+    if (do_swap) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::unique_ptr<const serve::FrozenModel> retired =
+          router.Swap(make_version(1));
+      // retired destroyed here: safe, every pinned batch was fulfilled.
+    }
+    // dcmt-lint: allow(concurrency) — joining the client fleet.
+    for (std::thread& client : fleet) client.join();
+  }
+  const double wall = static_cast<double>(obs::NowNanos() - t0) * 1e-9;
+
+  std::vector<double> all;
+  for (const auto& part : latencies) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+  auto quantile = [&](double q) {
+    if (all.empty()) return 0.0;
+    return all[std::min(all.size() - 1,
+                        static_cast<std::size_t>(
+                            q * static_cast<double>(all.size())))];
+  };
+
+  const serve::RouterStats stats = router.stats();
+  std::printf("router-bench model=%s engines=%d clients=%d requests=%lld\n",
+              flags.Get("model").c_str(), router.num_engines(), clients,
+              static_cast<long long>(clients) * per_client);
+  std::printf("  wall            %.3f s (%.0f req/s)\n", wall,
+              static_cast<double>(all.size()) / wall);
+  std::printf("  latency         p50=%.0fus p99=%.0fus p999=%.0fus\n",
+              quantile(0.50) * 1e6, quantile(0.99) * 1e6,
+              quantile(0.999) * 1e6);
+  std::printf("  swaps           %lld (drop-free: %s)\n",
+              static_cast<long long>(stats.swaps),
+              dropped.load() == 0 ? "yes" : "NO");
+  std::printf("  embed cache     hits=%lld misses=%lld evictions=%lld "
+              "invalidations=%lld\n",
+              static_cast<long long>(stats.cache.hits),
+              static_cast<long long>(stats.cache.misses),
+              static_cast<long long>(stats.cache.evictions),
+              static_cast<long long>(stats.cache.invalidations));
+  if (dropped.load() != 0) {
+    std::fprintf(stderr,
+                 "router-bench: %lld dropped/errored requests during the "
+                 "closed loop (hot swap must be drop-free)\n",
+                 static_cast<long long>(dropped.load()));
+    return 1;
+  }
+
+  // --- Phase 2: overload burst far past saturation must shed. --------------
+  if (flags.GetInt("overload") != 0) {
+    serve::RouterConfig overload_config = router_config;
+    overload_config.num_engines = 1;
+    overload_config.engine.queue_capacity = 64;
+    overload_config.engine.max_batch = 1024;
+    // Dispatcher parked on a long flush deadline: the burst hits the
+    // bounded queue head-on, the way >=2x-saturation arrival rates do.
+    overload_config.engine.max_wait_micros = 1000000;
+    overload_config.default_deadline_micros = 0;
+    std::unique_ptr<serve::FrozenModel> overload_model = make_version(0);
+    if (overload_model == nullptr) return 1;
+    serve::Router overload_router(std::move(overload_model), overload_config);
+    const int burst = 2 * overload_config.engine.queue_capacity;
+    Rng rng(99);
+    // dcmt-lint: allow(concurrency) — future tokens carry burst outcomes.
+    std::vector<std::future<serve::Score>> outcomes;
+    outcomes.reserve(static_cast<std::size_t>(burst));
+    for (int i = 0; i < burst; ++i) {
+      const int user = static_cast<int>(rng.NextBounded(profile.num_users));
+      const int item = static_cast<int>(rng.NextBounded(profile.num_items));
+      outcomes.push_back(
+          overload_router.Submit(generator.MakeExample(user, item, 0)));
+    }
+    overload_router.Shutdown();  // drains whatever was accepted
+    std::int64_t shed = 0, served = 0;
+    for (auto& outcome : outcomes) {
+      const serve::Score score = outcome.get();
+      if (score.status == serve::ServeStatus::kRejectedOverload) {
+        ++shed;
+      } else if (score.ok()) {
+        ++served;
+      }
+    }
+    const serve::RouterStats ostats = overload_router.stats();
+    std::printf("  overload        burst=%d served=%lld shed=%lld "
+                "(max queue depth %lld <= capacity %d)\n",
+                burst, static_cast<long long>(served),
+                static_cast<long long>(shed),
+                static_cast<long long>(ostats.per_engine[0].max_queue_depth),
+                overload_config.engine.queue_capacity);
+    if (shed == 0) {
+      std::fprintf(stderr,
+                   "router-bench: overload burst was not shed — bounded "
+                   "queue policy is broken\n");
+      return 1;
+    }
+  }
+  return WriteObsOutputs(flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -592,6 +836,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "serve-bench") == 0) {
     return ServeBenchCmd(argc - 1, argv + 1);
+  }
+  if (std::strcmp(cmd, "router-bench") == 0) {
+    return RouterBenchCmd(argc - 1, argv + 1);
   }
   return Usage();
 }

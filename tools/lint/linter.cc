@@ -285,10 +285,17 @@ class Linter {
     return i + 1 < scan_.tokens.size() ? &scan_.tokens[i + 1] : nullptr;
   }
 
-  // src/core/ owns the thread-pool runtime; src/serve/ owns the serving
-  // engine's request queue + dispatcher. Everything else goes through them.
+  // src/core/ owns the thread-pool runtime. Under src/serve/ the sanction
+  // is per-file, not blanket: engine (request queue + dispatcher thread),
+  // router (swap double-buffer + engine fleet), and shard_cache (per-shard
+  // mutexes) own locks/atomics by design; everything else in the serving
+  // tier (frozen_model, future additions) is plain value code and must stay
+  // that way.
   bool InConcurrencySite() const {
-    return StartsWith(path_, "src/core/") || StartsWith(path_, "src/serve/");
+    return StartsWith(path_, "src/core/") ||
+           StartsWith(path_, "src/serve/engine.") ||
+           StartsWith(path_, "src/serve/router.") ||
+           StartsWith(path_, "src/serve/shard_cache.");
   }
 
   // The sharded streaming data path: every byte it reads or writes must go
@@ -309,8 +316,9 @@ class Linter {
       if (!sanctioned && kConcurrencyHeaders.count(header) > 0) {
         Report("concurrency", line,
                "include of " + header +
-                   " outside src/core/ or src/serve/ — use core::ThreadPool "
-                   "or serve::Engine, the sanctioned concurrency sites");
+                   " outside src/core/ or the serve engine/router/"
+                   "shard_cache files — use core::ThreadPool or "
+                   "serve::Engine, the sanctioned concurrency sites");
       }
       if (InStreamIoSite() && header == "<fstream>") {
         Report("stream-io", line,
@@ -388,8 +396,9 @@ class Linter {
             kConcurrencyIdents.count(name->text) > 0) {
           Report("concurrency", t.line,
                  "std::" + name->text +
-                     " outside src/core/ or src/serve/ — use core::ThreadPool "
-                     "or serve::Engine, the sanctioned concurrency sites");
+                     " outside src/core/ or the serve engine/router/"
+                     "shard_cache files — use core::ThreadPool or "
+                     "serve::Engine, the sanctioned concurrency sites");
         }
       }
       // Backward-pass / tape mutation inside the serving subsystem.

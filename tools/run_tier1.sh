@@ -81,6 +81,37 @@ if [[ "${DCMT_SKIP_SERVE:-0}" != "1" ]]; then
   echo "serve stage OK"
 fi
 
+# Router tier (DESIGN.md §16): the sharded multi-instance router owns the
+# hot-swap double buffer, the consistent-hash embedding caches, and the
+# deadline/overload policy — all lock/atomic code, so its suite runs under
+# BOTH sanitizer trees, and the closed-loop CLI demo (hot swap must be
+# drop-free, the overload burst must shed) runs uninstrumented. Skippable
+# with DCMT_SKIP_ROUTER=1.
+if [[ "${DCMT_SKIP_ROUTER:-0}" != "1" ]]; then
+  if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
+    SAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$SAN_DIR" -S . \
+      -DDCMT_SANITIZE=address,undefined \
+      -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+    cmake --build "$SAN_DIR" -j "$JOBS" --target router_test
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Router|ShardCache|ConsistentHashRing'
+  fi
+  if [[ "${DCMT_SKIP_TSAN:-0}" != "1" ]]; then
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    cmake -B "$TSAN_DIR" -S . \
+      -DDCMT_SANITIZE=thread \
+      -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target router_test
+    TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+      ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Router|ShardCache|ConsistentHashRing'
+  fi
+  "$BUILD_DIR"/tools/dcmt_cli router-bench --requests=800 --clients=3 \
+    || { echo "router demo FAILED: drops or unshed overload"; exit 1; }
+  echo "router stage OK"
+fi
+
 # Kernel hardening (DESIGN.md §14): the SIMD kernel layer is raw-pointer
 # code with hand-rolled tails, so its correctness suite (fused-vs-unfused
 # equivalence + gradcheck of every fused op at 1 and 4 threads) reruns
@@ -201,10 +232,17 @@ fi
 "$BUILD_DIR"/bench/bench_stream \
   --benchmark_out="$BUILD_DIR"/bench_stream_raw.json \
   --benchmark_out_format=json
+# Router closed loop (DESIGN.md §16): one Zipf/diurnal run with a mid-run
+# hot swap; the three BM_RouterClosedLoop{P50,P99,P999} rows carry the
+# latency quantiles as manual time, so the fold below needs no
+# aggregate-parsing support in bench_to_json.
+"$BUILD_DIR"/bench/bench_router \
+  --benchmark_out="$BUILD_DIR"/bench_router_raw.json \
+  --benchmark_out_format=json
 "$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json \
   "$BUILD_DIR"/bench_kernels_raw.json \
   "$BUILD_DIR"/bench_obs_raw.json "$BUILD_DIR"/bench_serve_raw.json \
-  "$BUILD_DIR"/bench_stream_raw.json \
+  "$BUILD_DIR"/bench_stream_raw.json "$BUILD_DIR"/bench_router_raw.json \
   BENCH_engine.json
 
 echo "tier-1 OK; perf trajectory written to BENCH_engine.json"
