@@ -1,0 +1,105 @@
+// Continual-training loop performance (DESIGN.md §17).
+//
+// Two numbers describe the cost of keeping a serving model fresh:
+//   * ContinualDailyCycle — one complete 2-day continual run on a miniature
+//     world: pretrain, day-0 serving + logging, as-of re-label, warm-started
+//     retrain, hot republish, day-1 serving. This is the end-to-end price
+//     of a refresh, dominated by the retrain;
+//   * ContinualServeOnly — the identical run under RefreshCadence::kNever,
+//     isolating the serving/logging substrate so the difference between the
+//     two entries is the refresh machinery itself.
+//
+// All entries fold into BENCH_engine.json via tools/bench_to_json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/thread_pool.h"
+#include "data/generator.h"
+#include "eval/continual.h"
+
+namespace dcmt {
+namespace {
+
+data::DatasetProfile BenchProfile() {
+  data::DatasetProfile profile;
+  profile.name = "bench-continual";
+  profile.num_users = 200;
+  profile.num_items = 400;
+  profile.train_exposures = 4000;
+  profile.test_exposures = 400;
+  profile.target_click_rate = 0.2;
+  profile.target_cvr_given_click = 0.2;
+  profile.seed = 47;
+  profile.conversion_lag.max_lag_days = 2;
+  return profile;
+}
+
+eval::ContinualConfig BenchConfig(const std::string& work_dir) {
+  eval::ContinualConfig config;
+  config.ab.days = 2;
+  config.ab.page_views_per_day = 100;
+  config.ab.candidates_per_pv = 10;
+  config.ab.exposed_per_pv = 5;
+  config.ab.first_screen = 3;
+  config.ab.seed = 808;
+  config.ab.lag.max_lag_days = 2;
+  config.variant = "dcmt";
+  config.model.embedding_dim = 8;
+  config.model.hidden_dims = {16, 8};
+  config.model.seed = 3;
+  config.train.epochs = 1;
+  config.train.batch_size = 512;
+  config.train.learning_rate = 0.01f;
+  config.pretrain_exposures = 4000;
+  config.rows_per_shard = 2048;
+  config.router_engines = 2;
+  config.work_dir = work_dir;
+  return config;
+}
+
+void RunLoop(benchmark::State& state, eval::RefreshCadence cadence) {
+  core::ThreadPool::Global().SetNumThreads(0);
+  int iteration = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    char dir[96];
+    std::snprintf(dir, sizeof(dir), "/tmp/dcmt_bench_continual_%d_%d",
+                  static_cast<int>(cadence), iteration++);
+    std::filesystem::remove_all(dir);
+    data::SyntheticLogGenerator generator(BenchProfile());
+    eval::ContinualConfig config = BenchConfig(dir);
+    config.refresh = cadence;
+    state.ResumeTiming();
+
+    eval::ContinualLoop loop(&generator, config);
+    const eval::ContinualResult result = loop.Run();
+    benchmark::DoNotOptimize(result.total_steps);
+    if (result.dropped_requests != 0) {
+      state.SkipWithError("router dropped requests during republish");
+      return;
+    }
+
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+}
+
+void BM_ContinualDailyCycle(benchmark::State& state) {
+  RunLoop(state, eval::RefreshCadence::kDaily);
+}
+BENCHMARK(BM_ContinualDailyCycle)->Unit(benchmark::kMillisecond);
+
+void BM_ContinualServeOnly(benchmark::State& state) {
+  RunLoop(state, eval::RefreshCadence::kNever);
+}
+BENCHMARK(BM_ContinualServeOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcmt
+
+BENCHMARK_MAIN();

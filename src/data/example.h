@@ -34,6 +34,12 @@ struct Example {
   std::int32_t user_index = 0;
   /// Item id (pre-hash).
   std::int32_t item_index = 0;
+  /// Delayed-feedback attribution lag (DESIGN.md §17): a conversion on an
+  /// exposure logged on day d attributes on day d + convert_lag_days. 0 =
+  /// same-day attribution (the entire pre-§17 corpus). Between exposure and
+  /// attribution the row is one of the paper's *fake negatives*: its
+  /// observed `conversion` is 0 even though the user converts later.
+  std::int32_t convert_lag_days = 0;
 };
 
 }  // namespace data

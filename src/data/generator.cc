@@ -23,6 +23,12 @@ std::uint64_t Mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Deterministic U(0,1) for a key (same construction as the online
+/// simulator's paired event resolution).
+float HashUniform(std::uint64_t key) {
+  return static_cast<float>(Mix(key) >> 40) * (1.0f / 16777216.0f);
+}
+
 /// Deterministic standard-normal-ish draw for a key: sum of 4 uniforms,
 /// centered and scaled (Irwin-Hall approximation; adequate for noise terms).
 float HashNormal(std::uint64_t key) {
@@ -38,6 +44,23 @@ float HashNormal(std::uint64_t key) {
 constexpr int kNumPositions = 10;
 
 }  // namespace
+
+int DrawConversionLagDays(const ConversionLagConfig& config, std::uint64_t key) {
+  if (config.max_lag_days <= 0) return 0;
+  // Component pick and the component's own draw use distinct salts so they
+  // are independent of each other (and of every other keyed draw).
+  const float pick = HashUniform(key ^ 0x6c61672d7069636bULL);
+  if (pick < config.uniform_weight) {
+    const float u = HashUniform(key ^ 0x6c61672d756e6966ULL);
+    const int lag = static_cast<int>(u * static_cast<float>(config.max_lag_days + 1));
+    return std::min(lag, config.max_lag_days);
+  }
+  const float p = std::clamp(config.geometric_p, 0.01f, 0.99f);
+  const float u = HashUniform(key ^ 0x6c61672d67656f6dULL);
+  // Failures before the first success: floor(ln(1-u) / ln(1-p)), capped.
+  const int lag = static_cast<int>(std::log(1.0f - u) / std::log(1.0f - p));
+  return std::min(lag, config.max_lag_days);
+}
 
 SyntheticLogGenerator::SyntheticLogGenerator(DatasetProfile profile)
     : profile_(std::move(profile)) {
@@ -303,6 +326,16 @@ Example SyntheticLogGenerator::DrawExposure(Rng* rng) const {
   e.click = rng->Bernoulli(e.true_ctr) ? 1 : 0;
   e.oracle_conversion = rng->Bernoulli(e.true_cvr) ? 1 : 0;
   e.conversion = (e.click && e.oracle_conversion) ? 1 : 0;
+  if (e.oracle_conversion && profile_.conversion_lag.max_lag_days > 0) {
+    // Keyed (not drawn from `rng`) so enabling the lag leaves every other
+    // draw of the stream bit-identical; lags are deterministic per
+    // (user, item, position) like the SCM's idiosyncratic noise.
+    e.convert_lag_days = DrawConversionLagDays(
+        profile_.conversion_lag,
+        Mix(noise_salt_ ^ (static_cast<std::uint64_t>(user) << 32 |
+                           static_cast<std::uint64_t>(item))) ^
+            Mix(static_cast<std::uint64_t>(pos) + 7919));
+  }
   return e;
 }
 

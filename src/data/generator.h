@@ -12,6 +12,30 @@
 namespace dcmt {
 namespace data {
 
+/// Delayed-feedback attribution lag (DESIGN.md §17). A conversion on an
+/// exposure from day d attributes on day d + lag, with lag drawn from a
+/// geometric/uniform mixture: with probability `uniform_weight` the lag is
+/// uniform on {0..max_lag_days} (the long flat tail of late attributions —
+/// returns windows, delayed payment capture), otherwise geometric with
+/// success probability `geometric_p` (most conversions land within a day or
+/// two), capped at max_lag_days. Draws are stateless (keyed hashing), so
+/// enabling the lag never perturbs any other random stream: a lag-enabled
+/// log differs from the lag-disabled log only in `convert_lag_days`.
+struct ConversionLagConfig {
+  /// Maximum lag in days; 0 disables delayed feedback entirely (every
+  /// conversion attributes same-day, the pre-§17 behaviour).
+  int max_lag_days = 0;
+  /// Success probability of the geometric mixture component.
+  float geometric_p = 0.55f;
+  /// Mixture weight of the uniform-over-{0..max} component.
+  float uniform_weight = 0.25f;
+};
+
+/// Deterministic lag draw for one conversion event: the same `key` always
+/// yields the same lag (pair the key with the event, not with a stream
+/// position). With max_lag_days <= 0 this is identically 0.
+int DrawConversionLagDays(const ConversionLagConfig& config, std::uint64_t key);
+
 /// Parameters of one synthetic dataset (the knobs that differentiate the
 /// Ali-CCP / AE-* profiles). All rates are *targets*; the generator
 /// calibrates intercepts so realized rates land close to them.
@@ -69,6 +93,10 @@ struct DatasetProfile {
   int num_tiers = 16;       // user purchasing-power tiers
   int num_bands = 16;       // item price bands
   bool with_wide_features = true;  // Ali-CCP has crosses; plain profiles may not
+
+  /// Delayed-feedback lag of the log's conversions. Disabled by default:
+  /// every existing profile keeps same-day attribution bit-exactly.
+  ConversionLagConfig conversion_lag;
 
   // Misc.
   std::uint64_t seed = 2023;

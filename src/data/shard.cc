@@ -178,6 +178,8 @@ std::string EncodeShardImage(const FeatureSchema& schema, int shard_index,
   body.I32Vec(ids);
   for (std::size_t r = 0; r < rows.size(); ++r) ids[r] = rows[r].item_index;
   body.I32Vec(ids);
+  for (std::size_t r = 0; r < rows.size(); ++r) ids[r] = rows[r].convert_lag_days;
+  body.I32Vec(ids);
 
   const ShardLabelSums sums = SumLabels(rows);
   core::PayloadWriter footer;
@@ -305,6 +307,8 @@ bool ReadShardFile(core::FileSystem* fs, const std::string& path,
   for (std::size_t r = 0; r < rows_n; ++r) (*rows)[r].user_index = ids[r];
   if (!body.I32Vec(&ids) || ids.size() != rows_n) return fail_body();
   for (std::size_t r = 0; r < rows_n; ++r) (*rows)[r].item_index = ids[r];
+  if (!body.I32Vec(&ids) || ids.size() != rows_n) return fail_body();
+  for (std::size_t r = 0; r < rows_n; ++r) (*rows)[r].convert_lag_days = ids[r];
   if (!body.AtEnd()) {
     *error = path + ": trailing bytes in shard body";
     rows->clear();

@@ -36,7 +36,10 @@ namespace data {
 inline constexpr char kShardMagic[8] = {'D', 'C', 'M', 'T', 'S', 'H', 'D', '1'};
 inline constexpr char kShardManifestMagic[8] = {'D', 'C', 'M', 'T', 'S', 'H', 'M', '1'};
 /// Shard files reuse the v2 CRC-framed record container (core::record).
-inline constexpr std::uint32_t kShardFormatVersion = 2;
+/// Container version 3 appended the `convert_lag_days` row column (delayed
+/// feedback, DESIGN.md §17); version-2 files are rejected rather than
+/// decoded with a silently-zeroed lag column.
+inline constexpr std::uint32_t kShardFormatVersion = 3;
 
 /// Record types inside a shard file.
 enum ShardRecordType : std::uint32_t {

@@ -1,6 +1,8 @@
 #include "eval/checkpointer.h"
 
+#include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "core/obs.h"
 #include "nn/serialize.h"
@@ -21,6 +23,7 @@ std::uint64_t Fnv1a64(const std::string& bytes) {
 std::string EncodeTrainerMeta(const TrainCheckpointState& state) {
   nn::PayloadWriter w;
   w.U64(state.fingerprint);
+  w.U64(state.variant_fingerprint);
   w.I32(state.epoch);
   w.F64(state.loss_sum);
   w.I64(state.batches);
@@ -36,7 +39,8 @@ std::string EncodeTrainerMeta(const TrainCheckpointState& state) {
 
 bool DecodeTrainerMeta(std::string_view payload, TrainCheckpointState* state) {
   nn::PayloadReader r(payload);
-  if (!r.U64(&state->fingerprint) || !r.I32(&state->epoch) ||
+  if (!r.U64(&state->fingerprint) || !r.U64(&state->variant_fingerprint) ||
+      !r.I32(&state->epoch) ||
       !r.F64(&state->loss_sum) || !r.I64(&state->batches) ||
       !r.I64(&state->steps) || !r.I32(&state->final_epoch) ||
       !r.F64Vec(&state->epoch_loss) || !r.F64Vec(&state->validation_cvr_auc) ||
@@ -160,6 +164,19 @@ std::uint64_t FingerprintTrainSetup(const nn::Module& module,
   w.I32(config.early_stopping_patience);
   w.F32(config.lr_decay);
   w.I64(dataset_size);
+  w.U32(static_cast<std::uint32_t>(module.parameters().size()));
+  for (const Tensor& p : module.parameters()) {
+    w.Str(p.name());
+    w.I32(p.rows());
+    w.I32(p.cols());
+  }
+  return Fnv1a64(w.data());
+}
+
+std::uint64_t FingerprintModelVariant(const nn::Module& module,
+                                      const std::string& variant) {
+  nn::PayloadWriter w;
+  w.Str(variant);
   w.U32(static_cast<std::uint32_t>(module.parameters().size()));
   for (const Tensor& p : module.parameters()) {
     w.Str(p.name());
@@ -311,6 +328,101 @@ bool Checkpointer::Restore(std::uint64_t expected_fingerprint,
   obs_restores.Inc();
   obs_bytes_read.Inc(static_cast<std::int64_t>(image.size()));
   obs_restore_seconds.Add(static_cast<double>(obs::NowNanos() - t0) * 1e-9);
+  span.SetArg("bytes", static_cast<std::int64_t>(image.size()));
+  return true;
+}
+
+bool Checkpointer::WarmStart(std::uint64_t expected_variant_fingerprint,
+                             nn::Module* module, optim::Adam* adam,
+                             std::string* error) const {
+  static obs::Counter obs_warm_starts =
+      obs::Registry::Global().counter("dcmt_checkpoint_warm_starts_total");
+  obs::TraceSpan span("checkpoint/warm_start");
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  std::unique_ptr<core::FileReader> reader = fs_->OpenForRead(path_);
+  if (reader == nullptr) return fail("cannot open " + path_);
+  std::string image;
+  if (!reader->ReadAll(&image)) return fail("cannot read " + path_);
+
+  // Phase 1 — parse and verify the whole file (framing + CRCs), decoding
+  // only the records a warm start consumes.
+  std::vector<nn::RecordView> records;
+  if (!nn::ParseCheckpointImage(image, &records)) {
+    return fail("corrupt checkpoint image: " + path_);
+  }
+  std::string_view params_payload;
+  bool have_meta = false, have_params = false, have_adam = false;
+  TrainCheckpointState decoded;
+  for (const nn::RecordView& record : records) {
+    switch (record.type) {
+      case nn::kTrainerMeta:
+        if (have_meta || !DecodeTrainerMeta(record.payload, &decoded)) {
+          return fail("bad trainer-meta record in " + path_);
+        }
+        have_meta = true;
+        break;
+      case nn::kParameters:
+        if (have_params) return fail("duplicate parameters record in " + path_);
+        params_payload = record.payload;
+        have_params = true;
+        break;
+      case nn::kAdamState:
+        if (have_adam || !DecodeAdamState(record.payload, &decoded.adam)) {
+          return fail("bad adam-state record in " + path_);
+        }
+        have_adam = true;
+        break;
+      case nn::kRngState:
+      case nn::kBatcherState:
+      case nn::kBestSnapshot:
+        break;  // run-position state: deliberately not warm-started
+      default:
+        return fail("unknown record type in " + path_);
+    }
+  }
+  if (!have_meta || !have_params || !have_adam) {
+    return fail("incomplete checkpoint in " + path_);
+  }
+
+  // Phase 2 — validate before the first mutation. The variant check is the
+  // one that turns a silent cross-variant restore into a clear error.
+  if (decoded.variant_fingerprint != expected_variant_fingerprint) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "model-variant fingerprint mismatch: checkpoint %016llx vs "
+                  "configured variant %016llx (%s)",
+                  static_cast<unsigned long long>(decoded.variant_fingerprint),
+                  static_cast<unsigned long long>(expected_variant_fingerprint),
+                  path_.c_str());
+    return fail(buf);
+  }
+  if (!nn::ValidateParametersPayload(params_payload, *module)) {
+    return fail("parameter payload does not match module in " + path_);
+  }
+  const auto& adam_params = adam->params();
+  if (decoded.adam.m.size() != adam_params.size() ||
+      decoded.adam.v.size() != adam_params.size()) {
+    return fail("adam state does not match optimizer in " + path_);
+  }
+  for (std::size_t k = 0; k < adam_params.size(); ++k) {
+    const std::size_t n = static_cast<std::size_t>(adam_params[k].size());
+    if (decoded.adam.m[k].size() != n || decoded.adam.v[k].size() != n) {
+      return fail("adam state does not match optimizer in " + path_);
+    }
+  }
+
+  // Phase 3 — apply parameters + moments only; pre-validated, cannot fail.
+  if (!adam->ImportState(decoded.adam)) {
+    return fail("adam import rejected state from " + path_);
+  }
+  if (!nn::ApplyParametersPayload(params_payload, module)) {
+    return fail("parameter apply rejected payload from " + path_);
+  }
+  obs_warm_starts.Inc();
   span.SetArg("bytes", static_cast<std::int64_t>(image.size()));
   return true;
 }

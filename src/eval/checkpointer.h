@@ -25,6 +25,13 @@ struct TrainCheckpointState {
   /// rejected rather than half-applied.
   std::uint64_t fingerprint = 0;
 
+  /// Hash of the model *variant* (registry name + parameter inventory),
+  /// independent of the training setup. Warm starts compare this one: a
+  /// day-over-day continual loop may legitimately change dataset size or
+  /// epoch count between refreshes (different setup fingerprint) but must
+  /// never restore, say, an mmoe checkpoint into a dcmt tower.
+  std::uint64_t variant_fingerprint = 0;
+
   /// Epoch in progress (0-based) and the loss accumulated so far inside it.
   std::int32_t epoch = 0;
   double loss_sum = 0.0;
@@ -56,6 +63,13 @@ std::uint64_t FingerprintTrainSetup(const nn::Module& module,
                                     const TrainConfig& config,
                                     std::int64_t dataset_size);
 
+/// Fingerprints a model variant: the registry name plus the parameter
+/// inventory (names and shapes). Two checkpoints of the same variant share
+/// it across any training setup; checkpoints of different variants (or of
+/// the same variant at a different ModelConfig geometry) never do.
+std::uint64_t FingerprintModelVariant(const nn::Module& module,
+                                      const std::string& variant);
+
 /// Writes and restores full training-state checkpoints (DESIGN.md §10).
 /// One file, `<dir>/train_state.ckpt`, always holds the latest complete
 /// state: saves go through the atomic tmp + fsync + rename protocol, so a
@@ -82,6 +96,19 @@ class Checkpointer {
   bool Restore(std::uint64_t expected_fingerprint, nn::Module* module,
                optim::Adam* adam, data::BatchSource* batcher, Rng* rng,
                TrainCheckpointState* state) const;
+
+  /// Warm start (DESIGN.md §17): restores only the module parameters and
+  /// optimizer moments from the latest checkpoint — not the batcher
+  /// position, shuffle RNG, or trainer progress — so a new training run can
+  /// continue from yesterday's weights over today's (different) dataset.
+  /// The checkpoint's variant fingerprint must equal
+  /// `expected_variant_fingerprint` (see FingerprintModelVariant); on a
+  /// mismatch — restoring a checkpoint of a different model variant is
+  /// never recoverable — this returns false with `*error` naming both
+  /// fingerprints instead of attempting an undefined restore. As with
+  /// Restore, every payload is validated before the first mutation.
+  bool WarmStart(std::uint64_t expected_variant_fingerprint, nn::Module* module,
+                 optim::Adam* adam, std::string* error) const;
 
   /// True if a checkpoint file exists (it may still fail validation).
   bool Exists() const;

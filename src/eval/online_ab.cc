@@ -1,6 +1,7 @@
 #include "eval/online_ab.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <unordered_map>
@@ -27,12 +28,170 @@ float HashUniform(std::uint64_t key) {
   return static_cast<float>(Mix(key) >> 40) * (1.0f / 16777216.0f);
 }
 
-struct PvRequest {
-  int user = 0;
-  std::vector<int> candidates;
-};
+/// Deterministic approximate N(0,1) (Irwin–Hall over 4 uniforms).
+float HashNormal(std::uint64_t key) {
+  float acc = 0.0f;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    acc += HashUniform(key ^ Mix(i + 0x5deece66dULL));
+  }
+  return (acc - 2.0f) * 1.7320508f;
+}
+
+/// Per-item preference random walk at day `day`: the cumulative sum of one
+/// fresh deterministic N(0,1) step per elapsed day. Day 0 is the undrifted
+/// world the buckets' models were (pre)trained on.
+float DriftWalk(std::uint64_t seed, int day, int item) {
+  const std::uint64_t salt = Mix(seed ^ 0x64726966742d7377ULL) ^
+                             Mix(static_cast<std::uint64_t>(item) + 104729);
+  float walk = 0.0f;
+  for (int t = 1; t <= day; ++t) {
+    walk += HashNormal(salt ^ Mix(static_cast<std::uint64_t>(t) * 2654435761ULL));
+  }
+  return walk;
+}
+
+/// Shifts a conversion propensity by `shift` in log-odds.
+float ShiftLogOdds(float p, float shift) {
+  const float clamped = std::clamp(p, 1e-6f, 1.0f - 1e-6f);
+  const float logit = std::log(clamped / (1.0f - clamped)) + shift;
+  return 1.0f / (1.0f + std::exp(-logit));
+}
 
 }  // namespace
+
+DayTraffic BuildDayTraffic(const data::SyntheticLogGenerator& generator,
+                           const AbConfig& config, int day) {
+  const auto& profile = generator.profile();
+  // The day's traffic, identical for every bucket/policy: the stream depends
+  // only on (seed, day), never on any model's choices.
+  Rng traffic(Mix(config.seed) ^ Mix(static_cast<std::uint64_t>(day) + 17));
+  DayTraffic out;
+  out.stream.resize(static_cast<std::size_t>(config.page_views_per_day));
+  for (auto& pv : out.stream) {
+    pv.user = static_cast<int>(traffic.NextBounded(profile.num_users));
+    pv.candidates.resize(static_cast<std::size_t>(config.candidates_per_pv));
+    for (auto& item : pv.candidates) {
+      const float skew = traffic.Uniform();
+      item = std::min(profile.num_items - 1,
+                      static_cast<int>(skew * skew * profile.num_items));
+    }
+  }
+  return out;
+}
+
+ScoringPlan BuildScoringPlan(const data::SyntheticLogGenerator& generator,
+                             const DayTraffic& traffic, std::size_t pv_begin,
+                             std::size_t pv_end) {
+  // The skew-sampled candidate lists repeat (user, item) pairs heavily, and
+  // every duplicate used to re-run its embedding lookups and tower forward.
+  // Each distinct pair is scored once and broadcast back to its candidate
+  // slots — same scores (forward rows are independent), strictly less work.
+  ScoringPlan plan;
+  std::unordered_map<std::uint64_t, std::size_t> row_index;
+  for (std::size_t p = pv_begin; p < pv_end; ++p) {
+    const DayTraffic::PageView& pv = traffic.stream[p];
+    for (int item : pv.candidates) {
+      const std::uint64_t key = static_cast<std::uint64_t>(pv.user) << 32 |
+                                static_cast<std::uint32_t>(item);
+      auto [it, inserted] = row_index.emplace(key, plan.unique_rows.size());
+      if (inserted) {
+        plan.unique_rows.push_back(
+            generator.MakeExample(pv.user, item, /*position=*/0));
+      }
+      plan.slot_to_row.push_back(it->second);
+    }
+  }
+  return plan;
+}
+
+void RollDayOutcomes(const data::SyntheticLogGenerator& generator,
+                     const AbConfig& config, int day, const DayTraffic& traffic,
+                     std::size_t pv_begin, std::size_t pv_end,
+                     const std::vector<float>& slot_pctcvr,
+                     const std::vector<float>& slot_pcvr, DayTally* tally,
+                     std::vector<ExposureOutcome>* log) {
+  // dcmt-lint: allow(float-eq) — exact "drift disabled" sentinel.
+  const bool drifted = config.conversion_drift_scale != 0.0f && day > 0;
+  for (std::size_t p = pv_begin; p < pv_end; ++p) {
+    const DayTraffic::PageView& pv = traffic.stream[p];
+    const std::size_t base =
+        (p - pv_begin) * static_cast<std::size_t>(config.candidates_per_pv);
+    std::vector<int> order(pv.candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int c) {
+      return slot_pctcvr[base + static_cast<std::size_t>(a)] >
+             slot_pctcvr[base + static_cast<std::size_t>(c)];
+    });
+    const int exposed = std::min<int>(
+        config.exposed_per_pv, static_cast<int>(pv.candidates.size()));
+    for (int slot = 0; slot < exposed; ++slot) {
+      const int item = pv.candidates[static_cast<std::size_t>(order[slot])];
+      // The event key depends on (day, pv, user, item, slot) only — the
+      // same exposure resolves identically under every policy (stateless
+      // keyed draws), the variance-pairing trick of the A/B platform.
+      const std::uint64_t event_key =
+          Mix(static_cast<std::uint64_t>(day) * 1000003ULL + p) ^
+          Mix(static_cast<std::uint64_t>(pv.user) << 32 |
+              static_cast<std::uint64_t>(item)) ^
+          Mix(static_cast<std::uint64_t>(slot) + 31337);
+      const float p_click = generator.TrueClickProbability(pv.user, item, slot);
+      const bool clicked = HashUniform(event_key) < p_click;
+      float p_conv = generator.TrueConversionProbability(pv.user, item, slot);
+      if (drifted) {
+        p_conv = ShiftLogOdds(p_conv, config.conversion_drift_scale *
+                                          DriftWalk(config.seed, day, item));
+      }
+      // The potential outcome r̃ is drawn for every exposure; the observed
+      // conversion is r = o·r̃. Clicked exposures draw the exact uniform the
+      // pre-§17 simulator drew, so lag=0 metrics stay bit-identical.
+      const bool oracle = HashUniform(event_key ^ 0xc0ffeeULL) < p_conv;
+      const bool converted = clicked && oracle;
+      int lag_days = 0;
+      if (converted && config.lag.max_lag_days > 0) {
+        lag_days = data::DrawConversionLagDays(
+            config.lag, event_key ^ 0x6c61672d726f6c6cULL);
+      }
+      const bool matured = converted && day + lag_days < config.days;
+      ++tally->exposures;
+      tally->clicks += clicked ? 1 : 0;
+      tally->matured_conversions += matured ? 1 : 0;
+      tally->pending_conversions += (converted && !matured) ? 1 : 0;
+      tally->eventual_conversions += converted ? 1 : 0;
+      if (matured && slot < config.first_screen) {
+        ++tally->first_screen_conversions;
+      }
+      if (log != nullptr) {
+        ExposureOutcome& out = log->emplace_back();
+        out.pv = p;
+        out.item = item;
+        out.slot = slot;
+        out.clicked = clicked;
+        out.oracle = oracle;
+        out.converted = converted;
+        out.lag_days = lag_days;
+        out.p_click = p_click;
+        out.p_conv = p_conv;
+        out.pctcvr = slot_pctcvr[base + static_cast<std::size_t>(order[slot])];
+        out.pcvr = slot_pcvr[base + static_cast<std::size_t>(order[slot])];
+      }
+    }
+  }
+}
+
+DayMetrics FinalizeDayMetrics(const DayTally& tally, std::int64_t page_views) {
+  DayMetrics metrics;
+  metrics.page_views = page_views;
+  metrics.clicks = tally.clicks;
+  metrics.conversions = tally.matured_conversions;
+  metrics.pending_conversions = tally.pending_conversions;
+  if (page_views > 0) {
+    metrics.pv_ctr = static_cast<double>(tally.clicks) / page_views;
+    metrics.pv_cvr = static_cast<double>(tally.matured_conversions) / page_views;
+    metrics.top5_pv_cvr =
+        static_cast<double>(tally.first_screen_conversions) / page_views;
+  }
+  return metrics;
+}
 
 OnlineAbSimulator::OnlineAbSimulator(data::SyntheticLogGenerator* generator,
                                      AbConfig config)
@@ -41,7 +200,6 @@ OnlineAbSimulator::OnlineAbSimulator(data::SyntheticLogGenerator* generator,
 std::vector<BucketResult> OnlineAbSimulator::Run(
     const std::vector<models::MultiTaskModel*>& bucket_models,
     const std::vector<std::string>& bucket_names) {
-  const auto& profile = generator_->profile();
   std::vector<BucketResult> results(bucket_models.size());
   for (std::size_t b = 0; b < bucket_models.size(); ++b) {
     results[b].model = bucket_names[b];
@@ -72,8 +230,8 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
   // behind a frozen view and a micro-batching engine. Scores are identical
   // to a taped Forward over the raw candidate list (forward kernels are
   // row-independent; see serve::FrozenModel), but the serving path is
-  // tape-free and — with the dedupe below — embeds each distinct
-  // (user, item) pair once instead of once per duplicate candidate slot.
+  // tape-free and — with the dedupe in BuildScoringPlan — embeds each
+  // distinct (user, item) pair once instead of once per duplicate slot.
   std::vector<serve::FrozenModel> frozen;
   frozen.reserve(bucket_models.size());  // engines keep pointers into this
   std::vector<std::unique_ptr<serve::Engine>> engines;
@@ -87,57 +245,25 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
   }
 
   for (int day = 0; day < config_.days; ++day) {
-    // The day's traffic, identical for every bucket.
-    Rng traffic(Mix(config_.seed) ^ Mix(static_cast<std::uint64_t>(day) + 17));
-    std::vector<PvRequest> stream(static_cast<std::size_t>(config_.page_views_per_day));
-    for (auto& pv : stream) {
-      pv.user = static_cast<int>(traffic.NextBounded(profile.num_users));
-      pv.candidates.resize(static_cast<std::size_t>(config_.candidates_per_pv));
-      for (auto& item : pv.candidates) {
-        const float skew = traffic.Uniform();
-        item = std::min(profile.num_items - 1,
-                        static_cast<int>(skew * skew * profile.num_items));
-      }
-    }
-
-    // Pre-build the day's scoring rows (position 0 = scoring context),
-    // deduplicated: the skew-sampled candidate lists repeat (user, item)
-    // pairs heavily, and every duplicate used to re-run its embedding
-    // lookups and tower forward in every bucket. Each distinct pair is now
-    // scored once per bucket and broadcast back to its candidate slots —
-    // same scores (forward rows are independent), strictly less work.
+    const DayTraffic traffic = BuildDayTraffic(*generator_, config_, day);
+    const ScoringPlan plan =
+        BuildScoringPlan(*generator_, traffic, 0, traffic.stream.size());
     const std::int64_t day_candidates =
-        static_cast<std::int64_t>(stream.size()) * config_.candidates_per_pv;
-    std::vector<data::Example> unique_rows;
-    std::vector<std::size_t> slot_to_row;  // candidate slot -> unique row
-    slot_to_row.reserve(static_cast<std::size_t>(day_candidates));
-    std::unordered_map<std::uint64_t, std::size_t> row_index;
-    for (const PvRequest& pv : stream) {
-      for (int item : pv.candidates) {
-        const std::uint64_t key = static_cast<std::uint64_t>(pv.user) << 32 |
-                                  static_cast<std::uint32_t>(item);
-        auto [it, inserted] = row_index.emplace(key, unique_rows.size());
-        if (inserted) {
-          unique_rows.push_back(
-              generator_->MakeExample(pv.user, item, /*position=*/0));
-        }
-        slot_to_row.push_back(it->second);
-      }
-    }
+        static_cast<std::int64_t>(plan.slot_to_row.size());
 
     for (std::size_t b = 0; b < bucket_models.size(); ++b) {
       // Score the unique rows through the bucket's serving engine, then
       // expand to per-candidate-slot columns.
       std::vector<float> score_ctcvr;
       std::vector<float> score_cvr;
-      score_ctcvr.reserve(slot_to_row.size());
-      score_cvr.reserve(slot_to_row.size());
+      score_ctcvr.reserve(plan.slot_to_row.size());
+      score_cvr.reserve(plan.slot_to_row.size());
       {
         obs::TraceSpan score_span("ab/score", "candidates", day_candidates);
         const std::int64_t score_t0 = obs::NowNanos();
         const std::vector<serve::Score> unique_scores =
-            engines[b]->ScoreAll(unique_rows);
-        for (const std::size_t row : slot_to_row) {
+            engines[b]->ScoreAll(plan.unique_rows);
+        for (const std::size_t row : plan.slot_to_row) {
           score_ctcvr.push_back(unique_scores[row].pctcvr);
           score_cvr.push_back(unique_scores[row].pcvr);
         }
@@ -150,57 +276,19 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
       }
 
       // Rank within each page view, expose top-K, roll user behaviour.
-      DayMetrics metrics;
-      metrics.page_views = config_.page_views_per_day;
-      std::int64_t bucket_exposures = 0;
-      for (std::size_t p = 0; p < stream.size(); ++p) {
-        const PvRequest& pv = stream[p];
-        const std::size_t base = p * static_cast<std::size_t>(config_.candidates_per_pv);
-        std::vector<int> order(pv.candidates.size());
-        std::iota(order.begin(), order.end(), 0);
-        std::sort(order.begin(), order.end(), [&](int a, int c) {
-          return score_ctcvr[base + static_cast<std::size_t>(a)] >
-                 score_ctcvr[base + static_cast<std::size_t>(c)];
-        });
-        const int exposed =
-            std::min<int>(config_.exposed_per_pv,
-                          static_cast<int>(pv.candidates.size()));
-        for (int slot = 0; slot < exposed; ++slot) {
-          const int item = pv.candidates[static_cast<std::size_t>(order[slot])];
-          const std::uint64_t event_key =
-              Mix(static_cast<std::uint64_t>(day) * 1000003ULL + p) ^
-              Mix(static_cast<std::uint64_t>(pv.user) << 32 |
-                  static_cast<std::uint64_t>(item)) ^
-              Mix(static_cast<std::uint64_t>(slot) + 31337);
-          const float p_click =
-              generator_->TrueClickProbability(pv.user, item, slot);
-          const bool clicked = HashUniform(event_key) < p_click;
-          bool converted = false;
-          if (clicked) {
-            const float p_conv =
-                generator_->TrueConversionProbability(pv.user, item, slot);
-            converted = HashUniform(event_key ^ 0xc0ffeeULL) < p_conv;
-          }
-          ++bucket_exposures;
-          metrics.clicks += clicked ? 1 : 0;
-          metrics.conversions += converted ? 1 : 0;
-          if (converted && slot < config_.first_screen) {
-            metrics.top5_pv_cvr += 1.0;  // accumulate count; normalize below
-          }
-          if (day == 0) {
-            ++posterior_exposures;
-            posterior_clicks += clicked ? 1 : 0;
-            posterior_convs += converted ? 1 : 0;
-          }
-        }
+      DayTally tally;
+      RollDayOutcomes(*generator_, config_, day, traffic, 0,
+                      traffic.stream.size(), score_ctcvr, score_cvr, &tally,
+                      /*log=*/nullptr);
+      if (day == 0) {
+        posterior_exposures += tally.exposures;
+        posterior_clicks += tally.clicks;
+        posterior_convs += tally.eventual_conversions;
       }
-      metrics.pv_ctr =
-          static_cast<double>(metrics.clicks) / metrics.page_views;
-      metrics.pv_cvr =
-          static_cast<double>(metrics.conversions) / metrics.page_views;
-      metrics.top5_pv_cvr /= static_cast<double>(metrics.page_views);
+      const DayMetrics metrics =
+          FinalizeDayMetrics(tally, config_.page_views_per_day);
       obs_page_views.Inc(metrics.page_views);
-      obs_exposures.Inc(bucket_exposures);
+      obs_exposures.Inc(tally.exposures);
       obs_clicks.Inc(metrics.clicks);
       obs_conversions.Inc(metrics.conversions);
       results[b].days.push_back(metrics);
@@ -215,6 +303,7 @@ std::vector<BucketResult> OnlineAbSimulator::Run(
       total.page_views += d.page_views;
       total.clicks += d.clicks;
       total.conversions += d.conversions;
+      total.pending_conversions += d.pending_conversions;
       top5_sum += d.top5_pv_cvr * static_cast<double>(d.page_views);
     }
     if (total.page_views > 0) {

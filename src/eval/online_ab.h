@@ -1,6 +1,7 @@
 #ifndef DCMT_EVAL_ONLINE_AB_H_
 #define DCMT_EVAL_ONLINE_AB_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -21,6 +22,13 @@ namespace eval {
 /// to the generator's ground-truth propensities (position-aware). Business
 /// metrics follow the paper: PV-CTR, PV-CVR, and Top-5 PV-CVR (conversions
 /// on the first screen of 5).
+///
+/// Delayed feedback (DESIGN.md §17): with `lag` enabled, a conversion on
+/// day d attributes on day d + lag. Day-level metrics count only the
+/// conversions that mature inside the simulated horizon; the rest are
+/// reported as `pending_conversions`. With the default lag (disabled) every
+/// conversion matures same-day and all metrics are bit-identical to the
+/// pre-§17 simulator.
 struct AbConfig {
   int days = 7;
   int page_views_per_day = 2000;
@@ -28,9 +36,22 @@ struct AbConfig {
   int exposed_per_pv = 10;
   int first_screen = 5;
   std::uint64_t seed = 808;
+  /// Conversion attribution lag. Disabled (same-day) by default.
+  data::ConversionLagConfig lag;
+  /// Temporal preference drift: scale of a per-item random walk added to
+  /// the conversion utility (in log-odds) when rolling outcomes — day t
+  /// adds a fresh N(0,1) step per item, so the world the models score
+  /// drifts away from the day-0 world they were trained on. 0 keeps the
+  /// stationary (paper Table V) world bit-exactly.
+  float conversion_drift_scale = 0.0f;
 };
 
-/// One bucket-day of business metrics.
+/// One bucket-day of business metrics. `conversions` (and every CVR rate)
+/// counts only conversions that mature within the simulated horizon;
+/// conversions whose lag lands beyond the final day are tallied in
+/// `pending_conversions` instead. With lag disabled the split is trivial
+/// (everything matures) and the numbers match the pre-§17 simulator
+/// bit-exactly.
 struct DayMetrics {
   double pv_ctr = 0.0;
   double pv_cvr = 0.0;
@@ -38,6 +59,7 @@ struct DayMetrics {
   std::int64_t page_views = 0;
   std::int64_t clicks = 0;
   std::int64_t conversions = 0;
+  std::int64_t pending_conversions = 0;
 };
 
 /// Full A/B outcome of one bucket.
@@ -57,6 +79,88 @@ struct PosteriorLevels {
   double over_o = 0.0;
   double over_n = 0.0;
 };
+
+// --- Shared day-simulation core ---------------------------------------------
+// The static A/B simulator below and eval::ContinualLoop (continual.h) must
+// roll *identical* traffic and outcomes — the continual loop's lag=0
+// never-refresh configuration is pinned bit-exact against the static run —
+// so the day simulation is factored into these helpers rather than
+// duplicated.
+
+/// One day's page-view stream, identical for every bucket/policy.
+struct DayTraffic {
+  struct PageView {
+    int user = 0;
+    std::vector<int> candidates;
+  };
+  std::vector<PageView> stream;
+};
+
+/// Draws day `day`'s traffic (users and candidate lists) exactly as the
+/// simulator always has: seeded by (config.seed, day) only.
+DayTraffic BuildDayTraffic(const data::SyntheticLogGenerator& generator,
+                           const AbConfig& config, int day);
+
+/// Deduplicated scoring rows for the page views in [pv_begin, pv_end).
+/// The skew-sampled candidate lists repeat (user, item) pairs heavily; each
+/// distinct pair is scored once and broadcast back to its candidate slots
+/// via `slot_to_row` (pv-major over the range). Rows are built with
+/// position 0 — the scoring context.
+struct ScoringPlan {
+  std::vector<data::Example> unique_rows;
+  std::vector<std::size_t> slot_to_row;
+};
+ScoringPlan BuildScoringPlan(const data::SyntheticLogGenerator& generator,
+                             const DayTraffic& traffic, std::size_t pv_begin,
+                             std::size_t pv_end);
+
+/// One exposure the ranked policy actually displayed, with its (oracle)
+/// outcome and delayed-feedback attribution. `oracle` is the potential
+/// outcome r̃ drawn for *every* exposure (clicked or not) — the entire-space
+/// label the continual loop evaluates against; `converted` = clicked && oracle
+/// is the eventually-observed label, which attributes `lag_days` after the
+/// exposure day.
+struct ExposureOutcome {
+  std::size_t pv = 0;  // index into DayTraffic::stream
+  int item = 0;
+  int slot = 0;  // exposed position 0..K-1
+  bool clicked = false;
+  bool oracle = false;
+  bool converted = false;
+  int lag_days = 0;
+  float p_click = 0.0f;
+  float p_conv = 0.0f;  // drift-adjusted conversion propensity
+  float pcvr = 0.0f;    // the policy's serving scores for this slot
+  float pctcvr = 0.0f;
+};
+
+/// Raw per-range outcome tallies; DayMetrics rates are derived from these.
+struct DayTally {
+  std::int64_t exposures = 0;
+  std::int64_t clicks = 0;
+  std::int64_t matured_conversions = 0;
+  std::int64_t pending_conversions = 0;
+  std::int64_t eventual_conversions = 0;  // matured + pending
+  std::int64_t first_screen_conversions = 0;  // matured, slot < first_screen
+};
+
+/// Ranks each page view in [pv_begin, pv_end) by `slot_pctcvr` (pv-major
+/// over the range, as laid out by BuildScoringPlan), exposes the top
+/// `exposed_per_pv`, and rolls the bucket-invariant click/conversion events
+/// with stateless keyed draws — the same (day, pv, item, slot) event
+/// resolves identically under every policy, the variance-pairing trick of
+/// the A/B platform. Conversions maturing past day config.days - 1 count as
+/// pending. Appends per-exposure records to `log` when non-null.
+void RollDayOutcomes(const data::SyntheticLogGenerator& generator,
+                     const AbConfig& config, int day, const DayTraffic& traffic,
+                     std::size_t pv_begin, std::size_t pv_end,
+                     const std::vector<float>& slot_pctcvr,
+                     const std::vector<float>& slot_pcvr, DayTally* tally,
+                     std::vector<ExposureOutcome>* log);
+
+/// Finalizes a day's rates from its tally (page_views is the denominator of
+/// every PV-level rate).
+DayMetrics FinalizeDayMetrics(const DayTally& tally, std::int64_t page_views);
 
 class OnlineAbSimulator {
  public:

@@ -114,6 +114,28 @@ TrainHistory TrainLoop(models::MultiTaskModel* model,
       }
     }
   }
+  const std::uint64_t variant_fingerprint =
+      FingerprintModelVariant(*model, model->name());
+  if (!resume_mid_epoch && !config.warm_start_dir.empty()) {
+    // Warm start from the previous refresh's weights + moments. A variant or
+    // shape mismatch is a configuration bug, never recoverable mid-run:
+    // fail closed rather than silently cold-starting.
+    const Checkpointer warm(config.warm_start_dir, config.fs);
+    std::string warm_error;
+    if (!warm.WarmStart(variant_fingerprint, model, &adam, &warm_error)) {
+      std::fprintf(stderr, "[train %s] warm start from %s failed: %s\n",
+                   model->name().c_str(), warm.path().c_str(),
+                   warm_error.c_str());
+      std::abort();
+    }
+    // The imported Adam state carries the donor run's (possibly decayed)
+    // learning rate; this run's schedule starts from its own configured lr.
+    adam.set_lr(config.learning_rate);
+    if (config.verbose) {
+      std::fprintf(stderr, "[train %s] warm-started from %s\n",
+                   model->name().c_str(), warm.path().c_str());
+    }
+  }
 
   // Persists the complete training state; `epoch`/`loss_sum`/`batches`
   // describe the epoch in progress at the save point. A failed save is
@@ -122,6 +144,7 @@ TrainHistory TrainLoop(models::MultiTaskModel* model,
                                    std::int64_t batches) {
     TrainCheckpointState state;
     state.fingerprint = fingerprint;
+    state.variant_fingerprint = variant_fingerprint;
     state.epoch = epoch;
     state.loss_sum = loss_sum;
     state.batches = batches;

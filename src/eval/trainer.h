@@ -60,6 +60,17 @@ struct TrainConfig {
   /// checkpoint, incomplete history. 0 = run to completion. Drives the
   /// crash-resume tests and doubles as a step budget.
   std::int64_t halt_after_steps = 0;
+  /// Warm start (DESIGN.md §17): before the first step, seed the model
+  /// parameters and Adam moments from `<warm_start_dir>/train_state.ckpt` —
+  /// the previous continual-training refresh — instead of the fresh
+  /// initialization. Unlike `resume`, nothing else carries over: the run
+  /// keeps its own schedule, shuffle stream, and learning rate (which is
+  /// re-anchored to `learning_rate` after the import). The checkpoint's
+  /// model-variant fingerprint must match this model's, or training aborts
+  /// with the mismatch spelled out. Ignored ("" = off) and skipped when a
+  /// same-setup resume from `checkpoint_dir` already restored mid-run state
+  /// (resume is strictly more specific).
+  std::string warm_start_dir;
   /// File-system seam for checkpoint I/O (null = the real file system);
   /// tests inject a core::FaultInjectingFileSystem here.
   core::FileSystem* fs = nullptr;

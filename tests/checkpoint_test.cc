@@ -566,5 +566,88 @@ TEST_F(CheckpointCorruptionTest, GarbageFileRejected) {
   VerifyVictimsPristine();
 }
 
+// ---------------------------------------------------------------------------
+// Warm start (DESIGN.md §17): parameters + moments only, variant-checked.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, VariantFingerprintMismatchRejectedWithClearError) {
+  const data::Dataset train = MakeTrainSet();
+  const std::string dir = TempDirFor("warm_start_variant_mismatch");
+
+  // Produce a real checkpoint of the "dcmt" variant.
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.checkpoint_dir = dir;
+  RunTraining(train, tc);
+
+  // A victim of the same architecture but a *different configured variant*
+  // must be rejected before any mutation, with the mismatch spelled out —
+  // never an undefined cross-variant restore.
+  core::Dcmt victim(train.schema(), SmallModelConfig());
+  optim::Adam adam(victim.parameters(), 1e-3f);
+  std::vector<std::vector<float>> before;
+  for (const Tensor& p : victim.parameters()) before.push_back(p.ToVector());
+  const optim::AdamState adam_before = adam.ExportState();
+
+  const std::uint64_t wrong =
+      eval::FingerprintModelVariant(victim, "not-the-configured-variant");
+  const eval::Checkpointer checkpointer(dir);
+  std::string error;
+  EXPECT_FALSE(checkpointer.WarmStart(wrong, &victim, &adam, &error));
+  EXPECT_NE(error.find("variant"), std::string::npos) << error;
+  EXPECT_NE(error.find("mismatch"), std::string::npos) << error;
+
+  // Untouched victim: reject-before-mutate.
+  std::size_t i = 0;
+  for (const Tensor& p : victim.parameters()) {
+    EXPECT_EQ(p.ToVector(), before[i++]);
+  }
+  EXPECT_EQ(adam.ExportState().step, adam_before.step);
+}
+
+TEST(WarmStartTest, WarmStartRestoresParametersAndMomentsOnly) {
+  const data::Dataset train = MakeTrainSet();
+  const std::string dir = TempDirFor("warm_start_green");
+
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.checkpoint_dir = dir;
+  const RunResult donor = RunTraining(train, tc);
+
+  core::Dcmt model(train.schema(), SmallModelConfig());
+  optim::Adam adam(model.parameters(), 1e-3f);
+  const eval::Checkpointer checkpointer(dir);
+  std::string error;
+  ASSERT_TRUE(checkpointer.WarmStart(
+      eval::FingerprintModelVariant(model, model.name()), &model, &adam,
+      &error))
+      << error;
+
+  std::size_t i = 0;
+  for (const Tensor& p : model.parameters()) {
+    EXPECT_EQ(p.ToVector(), donor.params[i++]);
+  }
+  EXPECT_GT(adam.ExportState().step, 0);
+}
+
+TEST(WarmStartTest, TrainConfigWarmStartDirSeedsTheNextRun) {
+  const data::Dataset train = MakeTrainSet();
+  const std::string dir = TempDirFor("warm_start_trainer");
+
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.checkpoint_dir = dir;
+  const RunResult donor = RunTraining(train, tc);
+
+  // A zero-epoch run with warm_start_dir set ends with exactly the donor's
+  // parameters: the warm start is the only thing that touched the model.
+  eval::TrainConfig warm;
+  warm.epochs = 0;
+  warm.seed = 5;
+  warm.warm_start_dir = dir;
+  const RunResult warmed = RunTraining(train, warm);
+  ASSERT_EQ(warmed.params.size(), donor.params.size());
+  for (std::size_t i = 0; i < donor.params.size(); ++i) {
+    EXPECT_EQ(warmed.params[i], donor.params[i]) << "parameter " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dcmt

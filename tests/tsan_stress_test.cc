@@ -14,6 +14,7 @@
 // dcmt-lint: allow(concurrency) — pool stress test needs its own atomics.
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 // dcmt-lint: allow(concurrency) — futures carry engine scores cross-thread.
 #include <future>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "data/profiles.h"
 #include "data/shard.h"
 #include "data/stream.h"
+#include "eval/continual.h"
 #include "eval/experiment.h"
 #include "eval/trainer.h"
 #include "serve/engine.h"
@@ -530,6 +532,57 @@ TEST(TsanStress, RouterSubmittersRaceShutdown) {
   EXPECT_EQ(torn.load(), 0);
   const serve::RouterStats stats = router.stats();
   EXPECT_EQ(stats.scored + stats.rejected_shutdown, 4 * 30);
+}
+
+TEST(TsanStress, ContinualLoopRefreshesUnderConcurrency) {
+  // A miniature 2-day continual cycle with every concurrent subsystem live
+  // at once: a 2-engine router republished via Swap mid-run, the streaming
+  // batcher's prefetch thread, and pool workers under the trainer. TSan
+  // must see a clean run and the drop-free contract must hold.
+  ScopedParallelConfig config(4, 1);
+  const std::string work_dir =
+      ::testing::TempDir() + "/tsan_continual";
+  std::filesystem::remove_all(work_dir);
+
+  data::DatasetProfile profile;
+  profile.name = "tsan-tiny";
+  profile.num_users = 40;
+  profile.num_items = 60;
+  profile.train_exposures = 800;
+  profile.test_exposures = 200;
+  profile.target_click_rate = 0.3;
+  profile.target_cvr_given_click = 0.3;
+  profile.seed = 29;
+  profile.conversion_lag.max_lag_days = 1;
+  data::SyntheticLogGenerator generator(profile);
+
+  eval::ContinualConfig continual;
+  continual.ab.days = 2;
+  continual.ab.page_views_per_day = 30;
+  continual.ab.candidates_per_pv = 6;
+  continual.ab.exposed_per_pv = 3;
+  continual.ab.first_screen = 2;
+  continual.ab.lag.max_lag_days = 1;
+  continual.variant = "dcmt";
+  continual.model.embedding_dim = 4;
+  continual.model.hidden_dims = {8, 4};
+  continual.model.seed = 3;
+  continual.train.epochs = 1;
+  continual.train.batch_size = 128;
+  continual.train.learning_rate = 0.01f;
+  continual.pretrain_exposures = 800;
+  continual.refresh = eval::RefreshCadence::kDaily;
+  continual.rows_per_shard = 256;
+  continual.router_engines = 2;
+  continual.prefetch_depth = 2;
+  continual.work_dir = work_dir;
+
+  eval::ContinualLoop loop(&generator, continual);
+  const eval::ContinualResult result = loop.Run();
+  ASSERT_EQ(result.days.size(), 2u);
+  EXPECT_EQ(result.dropped_requests, 0);
+  EXPECT_EQ(result.swaps, 1);
+  EXPECT_FALSE(result.halted);
 }
 
 }  // namespace

@@ -42,6 +42,20 @@
 //       §16): Zipf users over consistent-hash engine routing, diurnal
 //       pacing, a hot model swap mid-run (exits nonzero unless drop-free),
 //       and a bounded-queue overload burst (exits nonzero unless shed).
+//   dcmt_cli continual --work-dir=cont/ [--profile=ae-es --model=dcmt]
+//                      [--days=7 --pvs=400 --candidates=30 --exposed=10
+//                       --first-screen=5 --pretrain=6000]
+//                      [--refresh=never|daily|intra --segments=2 --warm=1]
+//                      [--lag-max=2 --lag-geom-p=0.55 --lag-uniform-w=0.25]
+//                      [--drift=0 --epochs=2 --batch=256 --lr=0.01]
+//                      [--engines=2 --rows-per-shard=4096 --prefetch=2]
+//                      [--users=0 --items=0] [--sweep=0]
+//                      [--metrics-out=metrics.prom]
+//       runs the continual-training cycle (DESIGN.md §17): day-by-day
+//       serving through the router, delayed-feedback logging, as-of
+//       re-labelling, warm-started retraining, hot republish; prints the
+//       per-day and staleness tables. --sweep=1 crosses refresh cadence
+//       {never,daily,intra} x lag {0,--lag-max} into work-dir subdirs.
 //
 // The checkpoint format is architecture-checked: loading with mismatched
 // --model or hyper-parameters fails loudly instead of mispredicting.
@@ -71,6 +85,7 @@
 #include "data/profiles.h"
 #include "data/shard.h"
 #include "data/stream.h"
+#include "eval/continual.h"
 #include "eval/evaluator.h"
 #include "eval/flags.h"
 #include "eval/trainer.h"
@@ -90,7 +105,7 @@ int Usage() {
       stderr,
       "usage: dcmt_cli "
       "<generate|gen-shards|train|evaluate|predict|check-graph|serve-bench|"
-      "router-bench> [--flags]\n"
+      "router-bench|continual> [--flags]\n"
       "run a subcommand with a bogus flag to list its options\n");
   return 2;
 }
@@ -816,6 +831,170 @@ int RouterBenchCmd(int argc, char** argv) {
   return WriteObsOutputs(flags);
 }
 
+/// `dcmt_cli continual` — the deployment cycle of DESIGN.md §17 end to end:
+/// a pretrained model serves day 0 through the router; each day's exposures
+/// are logged with delayed conversion attribution; at every refresh the
+/// matured rows are re-labelled, the model is retrained (warm-started from
+/// the previous refresh) and hot-swapped under live traffic. Prints the
+/// per-day serving table and the staleness aggregation; --sweep=1 crosses
+/// refresh cadences with lag on/off to expose the staleness cost directly.
+int ContinualCmd(int argc, char** argv) {
+  const eval::Flags flags(argc, argv,
+                          {{"profile", "ae-es"},
+                           {"model", "dcmt"},
+                           {"days", "7"},
+                           {"pvs", "400"},
+                           {"candidates", "30"},
+                           {"exposed", "10"},
+                           {"first-screen", "5"},
+                           {"pretrain", "6000"},
+                           {"refresh", "daily"},
+                           {"segments", "2"},
+                           {"warm", "1"},
+                           {"lag-max", "2"},
+                           {"lag-geom-p", "0.55"},
+                           {"lag-uniform-w", "0.25"},
+                           {"drift", "0"},
+                           {"epochs", "2"},
+                           {"batch", "256"},
+                           {"lr", "0.01"},
+                           {"lambda1", "1.0"},
+                           {"embedding-dim", "16"},
+                           {"users", "0"},
+                           {"items", "0"},
+                           {"seed", "7"},
+                           {"engines", "2"},
+                           {"rows-per-shard", "4096"},
+                           {"prefetch", "2"},
+                           {"work-dir", ""},
+                           {"sweep", "0"},
+                           {"threads", "0"},
+                           {"metrics-out", ""},
+                           {"trace-out", ""}});
+  if (flags.Get("work-dir").empty()) {
+    std::fprintf(stderr, "continual: --work-dir is required\n");
+    return 2;
+  }
+  ApplyThreadsFlag(flags);
+  ApplyObsFlags(flags);
+
+  data::DatasetProfile profile = data::ProfileByName(flags.Get("profile"));
+  // Optional population overrides keep smoke runs (and CI) fast without a
+  // dedicated miniature profile.
+  if (flags.GetInt("users") > 0) profile.num_users = flags.GetInt("users");
+  if (flags.GetInt("items") > 0) profile.num_items = flags.GetInt("items");
+
+  eval::ContinualConfig base;
+  base.ab.days = std::max(1, flags.GetInt("days"));
+  base.ab.page_views_per_day = std::max(1, flags.GetInt("pvs"));
+  base.ab.candidates_per_pv = std::max(1, flags.GetInt("candidates"));
+  base.ab.exposed_per_pv = std::max(1, flags.GetInt("exposed"));
+  base.ab.first_screen = std::max(1, flags.GetInt("first-screen"));
+  base.ab.seed = static_cast<std::uint64_t>(flags.GetInt("seed")) + 801;
+  base.ab.conversion_drift_scale =
+      static_cast<float>(flags.GetDouble("drift"));
+  base.variant = flags.Get("model");
+  base.model = ModelConfigFromFlags(flags);
+  base.train.epochs = flags.GetInt("epochs");
+  base.train.batch_size = flags.GetInt("batch");
+  base.train.learning_rate = static_cast<float>(flags.GetDouble("lr"));
+  base.train.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  base.pretrain_exposures = std::max<std::int64_t>(1, flags.GetInt("pretrain"));
+  base.intra_day_segments = std::max(2, flags.GetInt("segments"));
+  base.warm_start = flags.GetInt("warm") != 0;
+  base.rows_per_shard = std::max(1, flags.GetInt("rows-per-shard"));
+  base.router_engines = std::max(1, flags.GetInt("engines"));
+  base.prefetch_depth = std::max(0, flags.GetInt("prefetch"));
+
+  const auto parse_cadence =
+      [](const std::string& name, eval::RefreshCadence* out) {
+        if (name == "never") *out = eval::RefreshCadence::kNever;
+        else if (name == "daily") *out = eval::RefreshCadence::kDaily;
+        else if (name == "intra") *out = eval::RefreshCadence::kIntraDay;
+        else return false;
+        return true;
+      };
+
+  const auto lag_config = [&](int max_lag) {
+    data::ConversionLagConfig lag;
+    lag.max_lag_days = max_lag;
+    lag.geometric_p = static_cast<float>(flags.GetDouble("lag-geom-p"));
+    lag.uniform_weight =
+        static_cast<float>(flags.GetDouble("lag-uniform-w"));
+    return lag;
+  };
+
+  // Runs one configuration and prints its tables; returns the mean CVR AUC
+  // over days >= 1 (day 0 is always fresh, so it dilutes the comparison).
+  const auto run_one = [&](eval::RefreshCadence cadence, int max_lag,
+                           const std::string& work_dir) {
+    eval::ContinualConfig config = base;
+    config.refresh = cadence;
+    config.ab.lag = lag_config(max_lag);
+    config.work_dir = work_dir;
+    data::DatasetProfile run_profile = profile;
+    run_profile.conversion_lag = config.ab.lag;
+    data::SyntheticLogGenerator generator(run_profile);
+    eval::ContinualLoop loop(&generator, config);
+    const eval::ContinualResult result = loop.Run();
+    std::printf("%s\n%s\n", result.RenderDayTable().c_str(),
+                result.RenderStalenessTable().c_str());
+    std::printf("swaps=%lld retrains=%lld steps=%lld dropped=%lld\n",
+                static_cast<long long>(result.swaps),
+                static_cast<long long>(result.retrains),
+                static_cast<long long>(result.total_steps),
+                static_cast<long long>(result.dropped_requests));
+    double auc_sum = 0.0;
+    int auc_days = 0;
+    for (const eval::ContinualDayResult& day : result.days) {
+      if (day.day == 0) continue;
+      auc_sum += day.cvr_auc;
+      ++auc_days;
+    }
+    return auc_days > 0 ? auc_sum / auc_days : 0.0;
+  };
+
+  if (flags.GetInt("sweep") != 0) {
+    // Cadence x lag cross: the staleness cost of each refresh policy, with
+    // and without delayed feedback in the logs.
+    const std::pair<const char*, eval::RefreshCadence> cadences[] = {
+        {"never", eval::RefreshCadence::kNever},
+        {"daily", eval::RefreshCadence::kDaily},
+        {"intra", eval::RefreshCadence::kIntraDay}};
+    const int lags[] = {0, std::max(0, flags.GetInt("lag-max"))};
+    struct SweepCell {
+      std::string name;
+      double mean_cvr_auc;
+    };
+    std::vector<SweepCell> cells;
+    for (const auto& [cadence_name, cadence] : cadences) {
+      for (const int max_lag : lags) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s-lag%d", cadence_name, max_lag);
+        std::printf("== refresh=%s lag-max=%d ==\n", cadence_name, max_lag);
+        const double mean = run_one(
+            cadence, max_lag, flags.Get("work-dir") + "/" + name);
+        cells.push_back({name, mean});
+      }
+    }
+    std::printf("sweep summary (mean CVR AUC, days >= 1):\n");
+    for (const SweepCell& cell : cells) {
+      std::printf("  %-14s %.4f\n", cell.name.c_str(), cell.mean_cvr_auc);
+    }
+    return WriteObsOutputs(flags);
+  }
+
+  eval::RefreshCadence cadence;
+  if (!parse_cadence(flags.Get("refresh"), &cadence)) {
+    std::fprintf(stderr,
+                 "continual: --refresh must be never, daily or intra\n");
+    return 2;
+  }
+  run_one(cadence, std::max(0, flags.GetInt("lag-max")),
+          flags.Get("work-dir"));
+  return WriteObsOutputs(flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -839,6 +1018,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "router-bench") == 0) {
     return RouterBenchCmd(argc - 1, argv + 1);
+  }
+  if (std::strcmp(cmd, "continual") == 0) {
+    return ContinualCmd(argc - 1, argv + 1);
   }
   return Usage();
 }

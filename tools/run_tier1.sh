@@ -198,6 +198,35 @@ if [[ "${DCMT_SKIP_STREAM:-0}" != "1" ]]; then
   echo "stream stage OK"
 fi
 
+# Continual training (DESIGN.md §17): the delayed-feedback day cycle —
+# logging, as-of re-labelling, warm-started retraining, hot republish. The
+# suite reruns under ASan/UBSan (it drives the checkpoint, shard and router
+# layers together, including the lag=0 bit-exact equivalence miniature), and
+# the CLI runs a 2-day daily-refresh smoke uninstrumented (exits nonzero on
+# any dropped request via the drop-free contract printed by the loop).
+# Skippable with DCMT_SKIP_CONTINUAL=1.
+if [[ "${DCMT_SKIP_CONTINUAL:-0}" != "1" ]]; then
+  if [[ "${DCMT_SKIP_SANITIZE:-0}" != "1" ]]; then
+    SAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$SAN_DIR" -S . \
+      -DDCMT_SANITIZE=address,undefined \
+      -DDCMT_BUILD_BENCHMARKS=OFF -DDCMT_BUILD_EXAMPLES=OFF
+    cmake --build "$SAN_DIR" -j "$JOBS" --target continual_test
+    ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Continual|OnlineAbGolden'
+  fi
+  CONT_DIR="$BUILD_DIR/continual_smoke"
+  rm -rf "$CONT_DIR"
+  "$BUILD_DIR"/tools/dcmt_cli continual --work-dir="$CONT_DIR" \
+    --users=80 --items=120 --days=2 --pvs=40 --candidates=6 --exposed=3 \
+    --first-screen=2 --pretrain=1200 --epochs=1 --rows-per-shard=512 \
+    --refresh=daily --lag-max=1 --threads=2 > "$CONT_DIR.log" \
+    || { echo "continual demo FAILED"; cat "$CONT_DIR.log"; exit 1; }
+  grep -q 'dropped=0' "$CONT_DIR.log" \
+    || { echo "continual demo FAILED: router dropped requests"; exit 1; }
+  echo "continual stage OK"
+fi
+
 # Interleaved repetitions here too: with the SIMD kernels a tower-sized
 # matmul is a single inline chunk at every thread count, so the 1/2/4-thread
 # variants run identical code and any sequential-order spread is turbo /
@@ -239,10 +268,17 @@ fi
 "$BUILD_DIR"/bench/bench_router \
   --benchmark_out="$BUILD_DIR"/bench_router_raw.json \
   --benchmark_out_format=json
+# Continual refresh cycle (DESIGN.md §17): the end-to-end price of a daily
+# refresh next to the serve-only baseline — their difference is the retrain
+# + republish machinery.
+"$BUILD_DIR"/bench/bench_continual \
+  --benchmark_out="$BUILD_DIR"/bench_continual_raw.json \
+  --benchmark_out_format=json
 "$BUILD_DIR"/tools/bench_to_json "$BUILD_DIR"/bench_parallel_raw.json \
   "$BUILD_DIR"/bench_kernels_raw.json \
   "$BUILD_DIR"/bench_obs_raw.json "$BUILD_DIR"/bench_serve_raw.json \
   "$BUILD_DIR"/bench_stream_raw.json "$BUILD_DIR"/bench_router_raw.json \
+  "$BUILD_DIR"/bench_continual_raw.json \
   BENCH_engine.json
 
 echo "tier-1 OK; perf trajectory written to BENCH_engine.json"
